@@ -1,0 +1,392 @@
+//! Recovering who talked to whom.
+//!
+//! "For some calls, not all the information for the message is
+//! available. For example, when one writes across a connection, the
+//! name of the recipient is not available to the metering software. …
+//! By examining the sockets that were paired when the connection was
+//! created, the recipient information can be recovered. This is one of
+//! the tasks of the analysis programs." (§4.1)
+//!
+//! Two steps:
+//!
+//! 1. **Connection pairing** — match every `connect` event with its
+//!    `accept` by the name-symmetry rule (the connector's `sockName`
+//!    is the acceptor's `peerName` and vice versa).
+//! 2. **Message matching** — pair `send` events with `receive` events:
+//!    by byte position for streams (reliable and ordered), FIFO per
+//!    (source, destination) name pair for datagrams (unmatched sends
+//!    are lost datagrams).
+
+use crate::trace::{Event, EventKind, ProcKey, Trace};
+use std::collections::HashMap;
+
+/// A recovered stream connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Connection {
+    /// The initiating side: process and its socket id.
+    pub client: (ProcKey, u32),
+    /// The accepting side: process and the *new* connection socket.
+    pub server: (ProcKey, u32),
+    /// Name bound to the connecting socket.
+    pub client_name: Option<String>,
+    /// Name bound to the accepting socket.
+    pub server_name: Option<String>,
+    /// Trace indices of the connect and accept events.
+    pub connect_idx: usize,
+    /// Trace index of the accept event.
+    pub accept_idx: usize,
+}
+
+/// One matched message: a send event paired with the receive event(s)
+/// that consumed its bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchedMessage {
+    /// Trace index of the send event.
+    pub send_idx: usize,
+    /// Trace index of the (first) receive event that consumed bytes of
+    /// this send.
+    pub recv_idx: usize,
+    /// Sender process.
+    pub from: ProcKey,
+    /// Receiver process.
+    pub to: ProcKey,
+    /// Bytes attributed to this pairing.
+    pub bytes: u32,
+}
+
+/// Everything pairing recovered from a trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Pairing {
+    /// Recovered stream connections.
+    pub connections: Vec<Connection>,
+    /// Matched messages (streams and datagrams).
+    pub messages: Vec<MatchedMessage>,
+    /// Trace indices of send events never matched to a receive —
+    /// datagrams lost in the network, or bytes unread at the end of
+    /// the trace.
+    pub unmatched_sends: Vec<usize>,
+}
+
+impl Pairing {
+    /// Runs connection pairing and message matching over a trace.
+    pub fn analyze(trace: &Trace) -> Pairing {
+        let connections = pair_connections(trace);
+        let (messages, unmatched_sends) = match_messages(trace, &connections);
+        Pairing {
+            connections,
+            messages,
+            unmatched_sends,
+        }
+    }
+}
+
+/// Matches connect events to accept events by name symmetry.
+fn pair_connections(trace: &Trace) -> Vec<Connection> {
+    let mut out = Vec::new();
+    let mut used_accepts = vec![false; trace.events.len()];
+    let accepts: Vec<&Event> = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Accept { .. }))
+        .collect();
+    for ev in &trace.events {
+        let EventKind::Connect {
+            sock_name: c_sock,
+            peer_name: c_peer,
+        } = &ev.kind
+        else {
+            continue;
+        };
+        // The matching accept: its sockName is our peerName, its
+        // peerName is our sockName, and it is the earliest unused one.
+        let hit = accepts.iter().find(|a| {
+            if used_accepts[a.idx] {
+                return false;
+            }
+            let EventKind::Accept {
+                sock_name: a_sock,
+                peer_name: a_peer,
+                ..
+            } = &a.kind
+            else {
+                return false;
+            };
+            a_peer == c_sock && a_sock == c_peer && c_sock.is_some()
+        });
+        if let Some(a) = hit {
+            used_accepts[a.idx] = true;
+            let EventKind::Accept { new_sock, .. } = a.kind else {
+                unreachable!()
+            };
+            out.push(Connection {
+                client: (ev.proc, ev.sock.unwrap_or(0)),
+                server: (a.proc, new_sock),
+                client_name: c_sock.clone(),
+                server_name: c_peer.clone(),
+                connect_idx: ev.idx,
+                accept_idx: a.idx,
+            });
+        }
+    }
+    out
+}
+
+struct SendRec {
+    idx: usize,
+    from: ProcKey,
+    remaining: u32,
+}
+
+struct RecvRec {
+    idx: usize,
+    to: ProcKey,
+    remaining: u32,
+}
+
+/// Matches sends to receives. Crucially this is **order-insensitive
+/// across processes**: each metered process delivers its records over
+/// its own meter connection, so records of different processes
+/// interleave arbitrarily in the log — a receive is routinely logged
+/// before the send that caused it. Within one process, log order is
+/// reliable (one ordered stream), which is all FIFO matching needs.
+fn match_messages(
+    trace: &Trace,
+    connections: &[Connection],
+) -> (Vec<MatchedMessage>, Vec<usize>) {
+    // Stream endpoints pair through the recovered connections.
+    let mut peer_of: HashMap<(ProcKey, u32), (ProcKey, u32)> = HashMap::new();
+    for c in connections {
+        peer_of.insert(c.client, c.server);
+        peer_of.insert(c.server, c.client);
+    }
+
+    // Pass 1: collect per-channel FIFO queues.
+    let mut stream_sends: HashMap<(ProcKey, u32), Vec<SendRec>> = HashMap::new();
+    let mut stream_recvs: HashMap<(ProcKey, u32), Vec<RecvRec>> = HashMap::new();
+    // Datagram sends grouped by (sender process, destination name);
+    // datagram receives by (receiver process, source name).
+    let mut dgram_sends: HashMap<(ProcKey, String), Vec<SendRec>> = HashMap::new();
+    let mut dgram_recvs: HashMap<(ProcKey, String), Vec<RecvRec>> = HashMap::new();
+    let mut all_sends: Vec<usize> = Vec::new();
+
+    for ev in &trace.events {
+        match &ev.kind {
+            EventKind::Send { len, dest } => {
+                all_sends.push(ev.idx);
+                let rec = SendRec {
+                    idx: ev.idx,
+                    from: ev.proc,
+                    remaining: *len,
+                };
+                match dest {
+                    Some(name) => dgram_sends
+                        .entry((ev.proc, name.clone()))
+                        .or_default()
+                        .push(rec),
+                    None => {
+                        let Some(sock) = ev.sock else { continue };
+                        stream_sends.entry((ev.proc, sock)).or_default().push(rec);
+                    }
+                }
+            }
+            EventKind::Recv { len, source } => {
+                let rec = RecvRec {
+                    idx: ev.idx,
+                    to: ev.proc,
+                    remaining: *len,
+                };
+                match source {
+                    Some(name) => dgram_recvs
+                        .entry((ev.proc, name.clone()))
+                        .or_default()
+                        .push(rec),
+                    None => {
+                        let Some(sock) = ev.sock else { continue };
+                        stream_recvs.entry((ev.proc, sock)).or_default().push(rec);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut matches: Vec<MatchedMessage> = Vec::new();
+    let mut matched: std::collections::HashSet<usize> = std::collections::HashSet::new();
+
+    // Pass 2a: streams — merge the sender queue into the paired
+    // receiver queue, splitting bytes across read boundaries.
+    let mut recv_endpoints: Vec<(ProcKey, u32)> = stream_recvs.keys().copied().collect();
+    recv_endpoints.sort();
+    for rx_ep in recv_endpoints {
+        let Some(&tx_ep) = peer_of.get(&rx_ep) else { continue };
+        let Some(sends) = stream_sends.get_mut(&tx_ep) else { continue };
+        let recvs = stream_recvs.get_mut(&rx_ep).expect("endpoint present");
+        let mut si = 0;
+        for r in recvs.iter_mut() {
+            while r.remaining > 0 && si < sends.len() {
+                let s = &mut sends[si];
+                let take = s.remaining.min(r.remaining);
+                if take > 0 {
+                    matches.push(MatchedMessage {
+                        send_idx: s.idx,
+                        recv_idx: r.idx,
+                        from: s.from,
+                        to: r.to,
+                        bytes: take,
+                    });
+                    matched.insert(s.idx);
+                    s.remaining -= take;
+                    r.remaining -= take;
+                }
+                if s.remaining == 0 {
+                    si += 1;
+                }
+            }
+        }
+    }
+
+    // Pass 2b: datagrams — each receive consumes exactly one send. A
+    // receive group (receiver, source-name) matches send groups whose
+    // sender lives on the source name's machine and whose destination
+    // names the receiver's machine.
+    let mut recv_groups: Vec<(ProcKey, String)> = dgram_recvs.keys().cloned().collect();
+    recv_groups.sort();
+    for key in recv_groups {
+        let (rx_proc, src_name) = &key;
+        let src_host = host_of(src_name);
+        let mut candidates: Vec<(ProcKey, String)> = dgram_sends
+            .keys()
+            .filter(|(tx_proc, dest)| {
+                (src_host.is_none() || Some(tx_proc.machine) == src_host)
+                    && host_of(dest).is_none_or(|h| h == rx_proc.machine)
+            })
+            .cloned()
+            .collect();
+        candidates.sort();
+        let recvs = dgram_recvs.get_mut(&key).expect("group present");
+        let mut ri = 0;
+        'cands: for cand in candidates {
+            let sends = dgram_sends.get_mut(&cand).expect("group present");
+            for s in sends.iter_mut() {
+                if matched.contains(&s.idx) {
+                    continue;
+                }
+                let Some(r) = recvs.get(ri) else { break 'cands };
+                matches.push(MatchedMessage {
+                    send_idx: s.idx,
+                    recv_idx: r.idx,
+                    from: s.from,
+                    to: r.to,
+                    bytes: s.remaining.min(r.remaining),
+                });
+                matched.insert(s.idx);
+                ri += 1;
+            }
+        }
+    }
+
+    matches.sort_by_key(|m| (m.recv_idx, m.send_idx));
+    let mut unmatched: Vec<usize> = all_sends
+        .into_iter()
+        .filter(|i| !matched.contains(i))
+        .collect();
+    unmatched.sort_unstable();
+    (matches, unmatched)
+}
+
+/// The host id of an `inet:<host>:<port>` display name.
+fn host_of(name: &str) -> Option<u32> {
+    name.strip_prefix("inet:")?
+        .split(':')
+        .next()?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn stream_log() -> &'static str {
+        // client m0:p1 connects sock 5 (name inet:0:1024) to server
+        // m1:p2 listening (name inet:1:80); accept creates sock 9.
+        "\
+event=connect machine=0 cpuTime=10 procTime=0 traceType=9 pid=1 pc=1 sock=5 sockName=inet:0:1024 peerName=inet:1:80
+event=accept machine=1 cpuTime=12 procTime=0 traceType=8 pid=2 pc=1 sock=4 newSock=9 sockName=inet:1:80 peerName=inet:0:1024
+event=send machine=0 cpuTime=20 procTime=0 traceType=1 pid=1 pc=2 sock=5 msgLength=100 destName=-
+event=send machine=0 cpuTime=21 procTime=0 traceType=1 pid=1 pc=3 sock=5 msgLength=50 destName=-
+event=receive machine=1 cpuTime=30 procTime=0 traceType=3 pid=2 pc=2 sock=9 msgLength=120 sourceName=-
+event=receive machine=1 cpuTime=31 procTime=0 traceType=3 pid=2 pc=3 sock=9 msgLength=30 sourceName=-
+"
+    }
+
+    #[test]
+    fn connections_pair_by_name_symmetry() {
+        let t = Trace::parse(stream_log());
+        let p = Pairing::analyze(&t);
+        assert_eq!(p.connections.len(), 1);
+        let c = &p.connections[0];
+        assert_eq!(c.client, (ProcKey { machine: 0, pid: 1 }, 5));
+        assert_eq!(c.server, (ProcKey { machine: 1, pid: 2 }, 9));
+        assert_eq!(c.client_name.as_deref(), Some("inet:0:1024"));
+    }
+
+    #[test]
+    fn stream_bytes_match_across_read_boundaries() {
+        let t = Trace::parse(stream_log());
+        let p = Pairing::analyze(&t);
+        // 100+50 sent; reads of 120 then 30. Matching splits:
+        // send#2 (100) → recv#4; send#3 (50) → recv#4 (20) + recv#5 (30).
+        let total: u32 = p.messages.iter().map(|m| m.bytes).sum();
+        assert_eq!(total, 150);
+        assert!(p.unmatched_sends.is_empty());
+        // The first matched pair is the first send into the first read.
+        assert_eq!(p.messages[0].send_idx, 2);
+        assert_eq!(p.messages[0].recv_idx, 4);
+        assert_eq!(p.messages[0].bytes, 100);
+        // Receiver identity recovered despite destName=- on the sends.
+        assert!(p
+            .messages
+            .iter()
+            .all(|m| m.to == ProcKey { machine: 1, pid: 2 }));
+    }
+
+    #[test]
+    fn datagram_matching_and_loss_detection() {
+        let log = "\
+event=send machine=0 cpuTime=1 procTime=0 traceType=1 pid=1 pc=1 sock=3 msgLength=10 destName=inet:1:53
+event=send machine=0 cpuTime=2 procTime=0 traceType=1 pid=1 pc=2 sock=3 msgLength=10 destName=inet:1:53
+event=send machine=0 cpuTime=3 procTime=0 traceType=1 pid=1 pc=3 sock=3 msgLength=10 destName=inet:1:53
+event=receive machine=1 cpuTime=9 procTime=0 traceType=3 pid=2 pc=1 sock=7 msgLength=10 sourceName=inet:0:1024
+event=receive machine=1 cpuTime=10 procTime=0 traceType=3 pid=2 pc=2 sock=7 msgLength=10 sourceName=inet:0:1024
+";
+        let t = Trace::parse(log);
+        let p = Pairing::analyze(&t);
+        assert_eq!(p.messages.len(), 2);
+        assert_eq!(p.unmatched_sends, vec![2], "third datagram was lost");
+    }
+
+    #[test]
+    fn two_connections_pair_independently() {
+        let log = "\
+event=connect machine=0 cpuTime=1 procTime=0 traceType=9 pid=1 pc=1 sock=5 sockName=inet:0:1024 peerName=inet:1:80
+event=connect machine=0 cpuTime=2 procTime=0 traceType=9 pid=3 pc=1 sock=6 sockName=inet:0:1025 peerName=inet:1:80
+event=accept machine=1 cpuTime=3 procTime=0 traceType=8 pid=2 pc=1 sock=4 newSock=9 sockName=inet:1:80 peerName=inet:0:1024
+event=accept machine=1 cpuTime=4 procTime=0 traceType=8 pid=2 pc=2 sock=4 newSock=10 sockName=inet:1:80 peerName=inet:0:1025
+";
+        let t = Trace::parse(log);
+        let p = Pairing::analyze(&t);
+        assert_eq!(p.connections.len(), 2);
+        assert_eq!(p.connections[0].server.1, 9);
+        assert_eq!(p.connections[1].server.1, 10);
+    }
+
+    #[test]
+    fn empty_trace_pairs_nothing() {
+        let p = Pairing::analyze(&Trace::default());
+        assert!(p.connections.is_empty());
+        assert!(p.messages.is_empty());
+        assert!(p.unmatched_sends.is_empty());
+    }
+}

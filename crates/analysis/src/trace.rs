@@ -1,0 +1,307 @@
+//! Typed view of a trace log.
+//!
+//! "The analysis routines provide the means for interpreting the
+//! traces created by filters. They give meaning to the data by
+//! summarizing and operating on the event records collected." (§3.3)
+//!
+//! This module turns the filter's textual log records back into typed
+//! [`Event`]s. A process is identified by `(machine, pid)` because pid
+//! uniqueness is per machine in 4.2BSD.
+
+use dpm_filter::LogRecord;
+use std::fmt;
+
+/// Identifies a process across the whole computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcKey {
+    /// Machine (host id).
+    pub machine: u32,
+    /// Process id on that machine.
+    pub pid: u32,
+}
+
+impl fmt::Display for ProcKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}:p{}", self.machine, self.pid)
+    }
+}
+
+/// What happened, typed per event kind. Name fields hold the display
+/// form of socket names (e.g. `inet:1:1701`); `None` when the trace
+/// record carried no name (stream sends) or the field was discarded by
+/// the filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A message was sent.
+    Send {
+        /// Payload length.
+        len: u32,
+        /// Destination name (datagrams only).
+        dest: Option<String>,
+    },
+    /// A receive was requested (may have blocked).
+    RecvCall,
+    /// A message was received.
+    Recv {
+        /// Payload length.
+        len: u32,
+        /// Source name (datagrams only).
+        source: Option<String>,
+    },
+    /// A socket was created.
+    Socket {
+        /// Domain code (1 = UNIX, 2 = Internet).
+        domain: u32,
+        /// Type code (1 = stream, 2 = datagram).
+        sock_type: u32,
+    },
+    /// A descriptor was duplicated.
+    Dup {
+        /// The duplicate socket (same file-table entry).
+        new_sock: u32,
+    },
+    /// A socket was closed.
+    DestSocket,
+    /// The process forked.
+    Fork {
+        /// The child's pid.
+        child: u32,
+    },
+    /// A connection was accepted.
+    Accept {
+        /// The new connection socket.
+        new_sock: u32,
+        /// Name bound to the accepting socket.
+        sock_name: Option<String>,
+        /// Name bound to the connecting socket.
+        peer_name: Option<String>,
+    },
+    /// A connection was initiated.
+    Connect {
+        /// Name bound to the connecting socket.
+        sock_name: Option<String>,
+        /// Name bound to the accepting socket.
+        peer_name: Option<String>,
+    },
+    /// The process terminated (0 = normal, 1 = killed).
+    Term {
+        /// Termination reason code.
+        reason: u32,
+    },
+}
+
+impl EventKind {
+    /// The event name as it appears in the log.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Send { .. } => "send",
+            EventKind::RecvCall => "receivecall",
+            EventKind::Recv { .. } => "receive",
+            EventKind::Socket { .. } => "socket",
+            EventKind::Dup { .. } => "dup",
+            EventKind::DestSocket => "destsocket",
+            EventKind::Fork { .. } => "fork",
+            EventKind::Accept { .. } => "accept",
+            EventKind::Connect { .. } => "connect",
+            EventKind::Term { .. } => "termproc",
+        }
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Index in the parsed trace (stable identifier for analyses).
+    pub idx: usize,
+    /// The process that produced the event.
+    pub proc: ProcKey,
+    /// Machine-local clock stamp, milliseconds. "The system clock time
+    /// is useful for establishing the order of events on a particular
+    /// machine" (§4.1) — *not* comparable across machines.
+    pub cpu_time: u32,
+    /// CPU time charged to the process, 10 ms granularity.
+    pub proc_time: u32,
+    /// The socket involved, when the event has one.
+    pub sock: Option<u32>,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+/// A parsed trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Events in log order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Parses a trace from the filter's log text. Records that lack
+    /// the fields needed to type them (heavily `#`-reduced logs) are
+    /// skipped; analyses degrade gracefully rather than failing.
+    pub fn parse(log_text: &str) -> Trace {
+        let records = LogRecord::parse_log(log_text);
+        Trace::from_records(&records)
+    }
+
+    /// Builds a trace from already-parsed log records.
+    pub fn from_records(records: &[LogRecord]) -> Trace {
+        let mut events = Vec::new();
+        for r in records {
+            if let Some(ev) = typed_event(events.len(), r) {
+                events.push(ev);
+            }
+        }
+        Trace { events }
+    }
+
+    /// The distinct processes, in first-appearance order.
+    pub fn processes(&self) -> Vec<ProcKey> {
+        let mut seen = Vec::new();
+        for e in &self.events {
+            if !seen.contains(&e.proc) {
+                seen.push(e.proc);
+            }
+        }
+        seen
+    }
+
+    /// The distinct machines, ascending.
+    pub fn machines(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.events.iter().map(|e| e.proc.machine).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Events of one process, in log order.
+    pub fn of_process(&self, p: ProcKey) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.proc == p).collect()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+fn opt_name(r: &LogRecord, field: &str) -> Option<String> {
+    match r.get(field) {
+        None | Some("-") => None,
+        Some(v) => Some(v.to_owned()),
+    }
+}
+
+fn typed_event(idx: usize, r: &LogRecord) -> Option<Event> {
+    let machine = r.get_int("machine")? as u32;
+    let pid = r.get_int("pid")? as u32;
+    let cpu_time = r.get_int("cpuTime").unwrap_or(0) as u32;
+    let proc_time = r.get_int("procTime").unwrap_or(0) as u32;
+    let sock = r.get_int("sock").map(|v| v as u32);
+    let kind = match r.event.as_str() {
+        "send" => EventKind::Send {
+            len: r.get_int("msgLength")? as u32,
+            dest: opt_name(r, "destName"),
+        },
+        "receivecall" => EventKind::RecvCall,
+        "receive" => EventKind::Recv {
+            len: r.get_int("msgLength")? as u32,
+            source: opt_name(r, "sourceName"),
+        },
+        "socket" => EventKind::Socket {
+            domain: r.get_int("domain")? as u32,
+            sock_type: r.get_int("type").or_else(|| r.get_int("traceType"))? as u32,
+        },
+        "dup" => EventKind::Dup {
+            new_sock: r.get_int("newSock")? as u32,
+        },
+        "destsocket" => EventKind::DestSocket,
+        "fork" => EventKind::Fork {
+            child: r.get_int("newPid")? as u32,
+        },
+        "accept" => EventKind::Accept {
+            new_sock: r.get_int("newSock")? as u32,
+            sock_name: opt_name(r, "sockName"),
+            peer_name: opt_name(r, "peerName"),
+        },
+        "connect" => EventKind::Connect {
+            sock_name: opt_name(r, "sockName"),
+            peer_name: opt_name(r, "peerName"),
+        },
+        "termproc" => EventKind::Term {
+            reason: r.get_int("reason").unwrap_or(0) as u32,
+        },
+        _ => return None,
+    };
+    Some(Event {
+        idx,
+        proc: ProcKey { machine, pid },
+        cpu_time,
+        proc_time,
+        sock,
+        kind,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOG: &str = "\
+event=socket machine=0 cpuTime=10 procTime=0 traceType=4 pid=100 pc=1 sock=1 domain=2 type=2 protocol=0
+event=send machine=0 cpuTime=20 procTime=0 traceType=1 pid=100 pc=2 sock=1 msgLength=64 destName=inet:1:53
+event=receivecall machine=1 cpuTime=5 procTime=0 traceType=2 pid=200 pc=1 sock=9
+event=receive machine=1 cpuTime=30 procTime=10 traceType=3 pid=200 pc=1 sock=9 msgLength=64 sourceName=inet:0:1024
+event=termproc machine=0 cpuTime=40 procTime=10 traceType=10 pid=100 pc=3 reason=0
+";
+
+    #[test]
+    fn parses_typed_events() {
+        let t = Trace::parse(LOG);
+        assert_eq!(t.len(), 5);
+        assert_eq!(
+            t.events[1].kind,
+            EventKind::Send {
+                len: 64,
+                dest: Some("inet:1:53".into())
+            }
+        );
+        assert_eq!(t.events[3].proc, ProcKey { machine: 1, pid: 200 });
+        assert_eq!(t.events[4].kind, EventKind::Term { reason: 0 });
+    }
+
+    #[test]
+    fn processes_and_machines() {
+        let t = Trace::parse(LOG);
+        assert_eq!(
+            t.processes(),
+            vec![
+                ProcKey { machine: 0, pid: 100 },
+                ProcKey { machine: 1, pid: 200 }
+            ]
+        );
+        assert_eq!(t.machines(), vec![0, 1]);
+        assert_eq!(t.of_process(ProcKey { machine: 0, pid: 100 }).len(), 3);
+    }
+
+    #[test]
+    fn dash_names_are_none() {
+        let t = Trace::parse(
+            "event=send machine=0 cpuTime=1 procTime=0 traceType=1 pid=1 pc=1 sock=1 msgLength=5 destName=-\n",
+        );
+        assert_eq!(
+            t.events[0].kind,
+            EventKind::Send { len: 5, dest: None }
+        );
+    }
+
+    #[test]
+    fn unparseable_records_are_skipped() {
+        let t = Trace::parse("event=send machine=0 pid=1\nevent=weird machine=0 pid=1\n");
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the analyses: happens-before is a strict
+//! partial order, vector clocks agree with reachability, pairing never
+//! invents bytes, and everything survives arbitrary log text.
+
+use dpm_analysis::{Analysis, EventKind, HappensBefore, Pairing, Trace};
+use proptest::prelude::*;
+
+/// Generates a plausible two-machine datagram conversation: machine 0
+/// sends, machine 1 receives a prefix of them (models loss).
+fn arb_conversation() -> impl Strategy<Value = String> {
+    (1usize..15, 0usize..15, 0u32..1000).prop_map(|(sends, recvs_requested, base)| {
+        let recvs = recvs_requested.min(sends);
+        let mut s = String::new();
+        for i in 0..sends {
+            s.push_str(&format!(
+                "event=send machine=0 cpuTime={} procTime=0 traceType=1 pid=1 pc={i} sock=3 msgLength=10 destName=inet:1:53\n",
+                base + i as u32
+            ));
+        }
+        for i in 0..recvs {
+            s.push_str(&format!(
+                "event=receive machine=1 cpuTime={} procTime=0 traceType=3 pid=2 pc={i} sock=7 msgLength=10 sourceName=inet:0:1024\n",
+                base + 100 + i as u32
+            ));
+        }
+        s
+    })
+}
+
+proptest! {
+    #[test]
+    fn happens_before_is_a_strict_partial_order(log in arb_conversation()) {
+        let trace = Trace::parse(&log);
+        let pairing = Pairing::analyze(&trace);
+        let hb = HappensBefore::build(&trace, &pairing);
+        let n = trace.len();
+        for a in 0..n {
+            prop_assert!(!hb.precedes(a, a), "irreflexive");
+            for b in 0..n {
+                if hb.precedes(a, b) {
+                    prop_assert!(!hb.precedes(b, a), "antisymmetric {a} {b}");
+                }
+                for c in 0..n {
+                    if hb.precedes(a, b) && hb.precedes(b, c) {
+                        prop_assert!(hb.precedes(a, c), "transitive {a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lamport_clocks_respect_the_order(log in arb_conversation()) {
+        let trace = Trace::parse(&log);
+        let pairing = Pairing::analyze(&trace);
+        let hb = HappensBefore::build(&trace, &pairing);
+        for a in 0..trace.len() {
+            for b in 0..trace.len() {
+                if hb.precedes(a, b) {
+                    prop_assert!(hb.lamport(a) < hb.lamport(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairing_conserves_bytes(log in arb_conversation()) {
+        let trace = Trace::parse(&log);
+        let pairing = Pairing::analyze(&trace);
+        let sent: u64 = trace.events.iter().filter_map(|e| match &e.kind {
+            EventKind::Send { len, .. } => Some(*len as u64),
+            _ => None,
+        }).sum();
+        let received: u64 = trace.events.iter().filter_map(|e| match &e.kind {
+            EventKind::Recv { len, .. } => Some(*len as u64),
+            _ => None,
+        }).sum();
+        let matched: u64 = pairing.messages.iter().map(|m| m.bytes as u64).sum();
+        prop_assert!(matched <= sent, "matched {matched} > sent {sent}");
+        prop_assert!(matched <= received, "matched {matched} > received {received}");
+        // Every send is either matched or reported unmatched.
+        let send_count = trace.events.iter()
+            .filter(|e| matches!(e.kind, EventKind::Send { .. })).count();
+        let matched_sends: std::collections::HashSet<_> =
+            pairing.messages.iter().map(|m| m.send_idx).collect();
+        prop_assert_eq!(
+            matched_sends.len() + pairing.unmatched_sends.len(),
+            send_count
+        );
+    }
+
+    #[test]
+    fn send_precedes_its_receive(log in arb_conversation()) {
+        let trace = Trace::parse(&log);
+        let pairing = Pairing::analyze(&trace);
+        let hb = HappensBefore::build(&trace, &pairing);
+        for m in &pairing.messages {
+            prop_assert!(hb.precedes(m.send_idx, m.recv_idx));
+        }
+    }
+
+    #[test]
+    fn analysis_never_panics_on_arbitrary_text(text in "(\\PC{0,40}\n){0,20}") {
+        let a = Analysis::of_log(&text);
+        let _ = a.summary(); // must not panic
+    }
+
+    #[test]
+    fn ordered_fraction_is_a_probability(log in arb_conversation()) {
+        let a = Analysis::of_log(&log);
+        let f = a.hb.ordered_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "{f}");
+    }
+}

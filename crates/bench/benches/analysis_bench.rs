@@ -1,0 +1,35 @@
+//! Criterion benchmark E6: analysis construction (parse → pairing →
+//! happens-before) as trace size grows (§3.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpm_analysis::{HappensBefore, Pairing, Trace};
+use dpm_bench::synthetic_log;
+use std::hint::black_box;
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(20);
+    for pairs in [250usize, 1_000, 4_000] {
+        let log = synthetic_log(pairs);
+        let trace = Trace::parse(&log);
+        let pairing = Pairing::analyze(&trace);
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::new("parse", pairs), &log, |b, log| {
+            b.iter(|| black_box(Trace::parse(log)).len());
+        });
+        g.bench_with_input(BenchmarkId::new("pairing", pairs), &trace, |b, trace| {
+            b.iter(|| black_box(Pairing::analyze(trace)).messages.len());
+        });
+        g.bench_with_input(
+            BenchmarkId::new("happens_before", pairs),
+            &(&trace, &pairing),
+            |b, (trace, pairing)| {
+                b.iter(|| black_box(HappensBefore::build(trace, pairing)).lamport(0));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmark E3: filter selection/reduction throughput as a
+//! function of the template set (§3.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dpm_filter::{Descriptions, FilterEngine, Rules};
+use dpm_meter::{trace_type, MeterBody, MeterHeader, MeterMsg, MeterSendMsg, SockName};
+use std::hint::black_box;
+
+fn wire_chunk(records: usize) -> Vec<u8> {
+    let msg = MeterMsg {
+        header: MeterHeader {
+            size: 0,
+            machine: 3,
+            cpu_time: 5_000,
+            proc_time: 20,
+            trace_type: trace_type::SEND,
+        },
+        body: MeterBody::Send(MeterSendMsg {
+            pid: 1234,
+            pc: 9,
+            sock: 4,
+            msg_length: 612,
+            dest_name: Some(SockName::inet(1, 53)),
+        }),
+    };
+    let mut wire = Vec::new();
+    for _ in 0..records {
+        msg.encode_into(&mut wire);
+    }
+    wire
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let records = 256;
+    let wire = wire_chunk(records);
+    let cases: Vec<(&str, String)> = vec![
+        ("keep_all", String::new()),
+        ("one_simple", "machine=3, cpuTime<10000\n".into()),
+        (
+            "fig_3_4_wildcards",
+            "machine=#*, type=1, pid=1*, size>=512\n".into(),
+        ),
+        ("reject_all", "machine=99\n".into()),
+        (
+            "sixteen_rules",
+            (0..16).map(|i| format!("machine={}\n", 50 + i)).collect(),
+        ),
+    ];
+    let mut g = c.benchmark_group("filter_engine");
+    g.throughput(Throughput::Elements(records as u64));
+    for (label, rules) in cases {
+        let desc = Descriptions::standard();
+        let rules = Rules::parse(&rules).expect("rules");
+        g.bench_with_input(BenchmarkId::from_parameter(label), &wire, |b, wire| {
+            let mut engine = FilterEngine::new(desc.clone(), rules.clone());
+            b.iter(|| black_box(engine.feed(wire)).len());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

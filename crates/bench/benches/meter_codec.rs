@@ -1,0 +1,87 @@
+//! Criterion benchmark: meter message encode/decode (the kernel's
+//! per-event cost and the filter's per-record parse cost — Appendix A
+//! wire formats).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use dpm_meter::{
+    trace_type, MeterAccept, MeterBody, MeterHeader, MeterMsg, MeterSendMsg, SockName,
+};
+use std::hint::black_box;
+
+fn send_msg() -> MeterMsg {
+    MeterMsg {
+        header: MeterHeader {
+            size: 0,
+            machine: 5,
+            cpu_time: 123_456,
+            proc_time: 320,
+            trace_type: trace_type::SEND,
+        },
+        body: MeterBody::Send(MeterSendMsg {
+            pid: 2120,
+            pc: 42,
+            sock: 4,
+            msg_length: 612,
+            dest_name: Some(SockName::inet(1, 1701)),
+        }),
+    }
+}
+
+fn accept_msg() -> MeterMsg {
+    MeterMsg {
+        header: MeterHeader {
+            size: 0,
+            machine: 5,
+            cpu_time: 1,
+            proc_time: 0,
+            trace_type: trace_type::ACCEPT,
+        },
+        body: MeterBody::Accept(MeterAccept {
+            pid: 2117,
+            pc: 7,
+            sock: 3,
+            new_sock: 9,
+            sock_name: Some(SockName::inet(1, 80)),
+            peer_name: Some(SockName::unix("/tmp/cli")),
+        }),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("meter_codec");
+    let send = send_msg();
+    let accept = accept_msg();
+    let send_wire = send.encode();
+    let accept_wire = accept.encode();
+    g.throughput(Throughput::Bytes(send_wire.len() as u64));
+    g.bench_function("encode_send", |b| {
+        b.iter(|| black_box(send.encode()));
+    });
+    g.bench_function("decode_send", |b| {
+        b.iter(|| MeterMsg::decode(black_box(&send_wire)).expect("decode"));
+    });
+    g.throughput(Throughput::Bytes(accept_wire.len() as u64));
+    g.bench_function("encode_accept", |b| {
+        b.iter(|| black_box(accept.encode()));
+    });
+    g.bench_function("decode_accept", |b| {
+        b.iter(|| MeterMsg::decode(black_box(&accept_wire)).expect("decode"));
+    });
+    // A buffered batch, as the kernel flushes them.
+    let mut batch = Vec::new();
+    for _ in 0..8 {
+        send.encode_into(&mut batch);
+    }
+    g.throughput(Throughput::Bytes(batch.len() as u64));
+    g.bench_function("decode_batch_of_8", |b| {
+        b.iter_batched(
+            || batch.clone(),
+            |wire| MeterMsg::decode_all(&wire).expect("decode all"),
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmark E1 (real-time flavour): one full metered
+//! workload run, unmetered vs fully metered. Virtual-time numbers —
+//! the paper-faithful metric — come from
+//! `cargo run -p dpm-bench --bin experiments`; this bench tracks the
+//! real cost of the simulation machinery itself so regressions in the
+//! kernel hot path show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dpm_bench::run_metered;
+use dpm_meter::MeterFlags;
+use std::hint::black_box;
+
+fn bench_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metered_run");
+    // Whole-simulation runs are expensive; keep samples small.
+    g.sample_size(10);
+    for (label, flags) in [
+        ("unmetered", MeterFlags::NONE),
+        ("all_flags", MeterFlags::ALL),
+        ("all_immediate", MeterFlags::ALL | MeterFlags::IMMEDIATE),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &flags, |b, &flags| {
+            b.iter(|| black_box(run_metered(flags, 8, 50, 64)).cpu_us);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_runs);
+criterion_main!(benches);

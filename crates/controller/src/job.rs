@@ -1,0 +1,277 @@
+//! Jobs and the controller's process state machine.
+//!
+//! "In our measurement model, a computation is a collection of
+//! processes working towards a common goal. The controller uses the
+//! term *job* to designate a computation." (§4.2)
+//!
+//! The five process states and their transitions are exactly Fig. 4.2:
+//!
+//! ```text
+//!        start              stop
+//! new ──────────► running ◄──────► stopped
+//!  │                 │                │
+//!  │ stop            │ completes      │ remove
+//!  └─────► stopped   ▼                ▼
+//!                  killed ◄────────────
+//! ```
+//!
+//! A process cannot move directly from `new` to `killed` ("this
+//! restriction is enforced as a precautionary measure"), cannot be
+//! restarted once killed, and an *acquired* process "cannot be stopped
+//! or killed, it can only be metered".
+
+use dpm_meter::MeterFlags;
+use dpm_simos::Pid;
+use std::fmt;
+
+/// The controller's view of one process's state (Fig. 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Created, suspended prior to its first instruction.
+    New,
+    /// A previously existing process being metered; the only state
+    /// such a process can ever be in.
+    Acquired,
+    /// Executing.
+    Running,
+    /// Suspended by the user.
+    Stopped,
+    /// Terminated (completed, or removed by the user).
+    Killed,
+}
+
+impl fmt::Display for ProcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProcState::New => "new",
+            ProcState::Acquired => "acquired",
+            ProcState::Running => "running",
+            ProcState::Stopped => "stopped",
+            ProcState::Killed => "killed",
+        })
+    }
+}
+
+/// An action the user can attempt on a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcAction {
+    /// `startjob`: begin or resume execution.
+    Start,
+    /// `stopjob`: halt execution.
+    Stop,
+    /// Process completion reported by a meterdaemon.
+    Complete,
+    /// `removejob`/`removeprocess`: forced termination.
+    Remove,
+}
+
+impl ProcState {
+    /// The successor state for an action, or `None` when Fig. 4.2 has
+    /// no such edge (the action must be ignored or refused).
+    pub fn next(self, action: ProcAction) -> Option<ProcState> {
+        use ProcAction::*;
+        use ProcState::*;
+        match (self, action) {
+            (New, Start) | (Stopped, Start) => Some(Running),
+            (New, Stop) | (Running, Stop) => Some(Stopped),
+            (Running, Complete) => Some(Killed),
+            // Removing a stopped process kills it; removing a new one
+            // is forbidden (the precautionary rule), as is removing a
+            // running one.
+            (Stopped, Remove) => Some(Killed),
+            // An acquired process is only ever released, never state-
+            // changed; completion of an acquired process is not
+            // tracked.
+            _ => None,
+        }
+    }
+
+    /// Whether a job containing a process in this state may be
+    /// removed: "a job can only be removed if all of its processes are
+    /// in one of the states killed, stopped, or acquired" (§4.3).
+    pub fn removable(self) -> bool {
+        matches!(
+            self,
+            ProcState::Killed | ProcState::Stopped | ProcState::Acquired
+        )
+    }
+
+    /// Whether the process counts as *active* for the `die` warning
+    /// ("if there are still active processes (new, stopped, running,
+    /// or acquired), the user is warned", §4.3).
+    pub fn active(self) -> bool {
+        self != ProcState::Killed
+    }
+}
+
+/// One process tracked by the controller.
+#[derive(Debug, Clone)]
+pub struct ManagedProc {
+    /// Display name (the executable file's base name, or the pid for
+    /// acquired processes).
+    pub name: String,
+    /// The machine it runs on (literal host name).
+    pub machine: String,
+    /// Its pid on that machine.
+    pub pid: Pid,
+    /// Controller-tracked state.
+    pub state: ProcState,
+}
+
+/// A job: a named computation.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The job's name.
+    pub name: String,
+    /// The filter collecting this job's trace.
+    pub filter: String,
+    /// The job's accumulated meter flags. "If two setflags commands
+    /// are executed, the set of active flags is the union of the two
+    /// groups of flags." (§4.3)
+    pub flags: MeterFlags,
+    /// The job's processes, in creation order.
+    pub procs: Vec<ManagedProc>,
+}
+
+impl Job {
+    /// Creates an empty job bound to a filter.
+    pub fn new(name: impl Into<String>, filter: impl Into<String>) -> Job {
+        Job {
+            name: name.into(),
+            filter: filter.into(),
+            flags: MeterFlags::NONE,
+            procs: Vec::new(),
+        }
+    }
+
+    /// Finds a process by display name.
+    pub fn proc_by_name(&mut self, name: &str) -> Option<&mut ManagedProc> {
+        self.procs.iter_mut().find(|p| p.name == name)
+    }
+
+    /// Finds a process by (machine, pid).
+    pub fn proc_by_pid(&mut self, machine: &str, pid: Pid) -> Option<&mut ManagedProc> {
+        self.procs
+            .iter_mut()
+            .find(|p| p.machine == machine && p.pid == pid)
+    }
+
+    /// Whether every process permits removal of the job.
+    pub fn removable(&self) -> bool {
+        self.procs.iter().all(|p| p.state.removable())
+    }
+
+    /// Whether any process is still active.
+    pub fn has_active(&self) -> bool {
+        self.procs.iter().any(|p| p.state.active())
+    }
+
+    /// Applies a `setflags` argument list (`send`, `-send`, `all`,
+    /// `-all`, …) to the job's accumulated flags, returning the new
+    /// set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token when it is not a flag name.
+    pub fn apply_flag_args<'a>(
+        &mut self,
+        args: impl IntoIterator<Item = &'a str>,
+    ) -> Result<MeterFlags, String> {
+        let mut flags = self.flags;
+        for tok in args {
+            if let Some(reset) = tok.strip_prefix('-') {
+                let f: MeterFlags = reset.parse().map_err(|_| tok.to_owned())?;
+                flags = flags - f;
+            } else {
+                let f: MeterFlags = tok.parse().map_err(|_| tok.to_owned())?;
+                flags |= f;
+            }
+        }
+        self.flags = flags;
+        Ok(flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ProcAction::*;
+    use ProcState::*;
+
+    #[test]
+    fn figure_4_2_legal_transitions() {
+        assert_eq!(New.next(Start), Some(Running));
+        assert_eq!(New.next(Stop), Some(Stopped));
+        assert_eq!(Stopped.next(Start), Some(Running));
+        assert_eq!(Running.next(Stop), Some(Stopped));
+        assert_eq!(Running.next(Complete), Some(Killed));
+        assert_eq!(Stopped.next(Remove), Some(Killed));
+    }
+
+    #[test]
+    fn figure_4_2_forbidden_transitions() {
+        // No direct new → killed (the precautionary measure).
+        assert_eq!(New.next(Remove), None);
+        // A killed process cannot be restarted.
+        assert_eq!(Killed.next(Start), None);
+        assert_eq!(Killed.next(Stop), None);
+        // Acquired processes can only be metered.
+        for a in [Start, Stop, Complete, Remove] {
+            assert_eq!(Acquired.next(a), None);
+        }
+        // A running process is not removable.
+        assert_eq!(Running.next(Remove), None);
+    }
+
+    #[test]
+    fn removability_rule() {
+        assert!(Killed.removable());
+        assert!(Stopped.removable());
+        assert!(Acquired.removable());
+        assert!(!New.removable());
+        assert!(!Running.removable());
+    }
+
+    #[test]
+    fn job_flag_union_and_reset() {
+        let mut j = Job::new("foo", "f1");
+        let f = j
+            .apply_flag_args(["send", "receive", "fork"])
+            .unwrap();
+        assert!(f.contains(MeterFlags::SEND));
+        // Union with a second setflags.
+        let f = j.apply_flag_args(["accept"]).unwrap();
+        assert!(f.contains(MeterFlags::SEND) && f.contains(MeterFlags::ACCEPT));
+        // Explicit reset.
+        let f = j.apply_flag_args(["-send"]).unwrap();
+        assert!(!f.contains(MeterFlags::SEND));
+        assert!(f.contains(MeterFlags::RECEIVE));
+        // all / -all shorthands.
+        let f = j.apply_flag_args(["all"]).unwrap();
+        assert_eq!(f, MeterFlags::ALL);
+        let f = j.apply_flag_args(["-all"]).unwrap();
+        assert!(f.is_empty());
+        // Bad token reported.
+        assert_eq!(j.apply_flag_args(["sned"]).unwrap_err(), "sned");
+    }
+
+    #[test]
+    fn job_process_lookup_and_removability() {
+        let mut j = Job::new("foo", "f1");
+        j.procs.push(ManagedProc {
+            name: "A".into(),
+            machine: "red".into(),
+            pid: Pid(2120),
+            state: ProcState::New,
+        });
+        assert!(j.proc_by_name("A").is_some());
+        assert!(j.proc_by_name("B").is_none());
+        assert!(j.proc_by_pid("red", Pid(2120)).is_some());
+        assert!(j.proc_by_pid("blue", Pid(2120)).is_none());
+        assert!(!j.removable());
+        assert!(j.has_active());
+        j.procs[0].state = ProcState::Killed;
+        assert!(j.removable());
+        assert!(!j.has_active());
+    }
+}

@@ -1,0 +1,937 @@
+//! The control process.
+//!
+//! "The task of organizing the parts of the measurement system and
+//! providing a control interface to the user is performed by the
+//! control process (or controller). … The controller is a command
+//! interpreter. It provides the user with a concise menu of commands
+//! to use in the measurement and control of one or more distributed
+//! computations." (§3.3)
+//!
+//! [`Controller::exec`] interprets one command line and returns the
+//! text a user at the terminal would see; the Appendix-B transcript is
+//! reproduced by the `quickstart` example. The controller itself runs
+//! as a process inside the simulation (so all its communication goes
+//! over simulated IPC through the meterdaemons), driven from the host.
+
+use crate::job::{Job, ManagedProc, ProcAction, ProcState};
+use dpm_filter::{Descriptions, Rules};
+use dpm_meterd::{rpc_call, read_frame, status, Reply, Request};
+use dpm_simos::{
+    BindTo, Cluster, Domain, Pid, Proc, SockType, SysError, SysResult, Uid,
+};
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Maximum nesting depth of `source` scripts (§4.3).
+const MAX_SOURCE_DEPTH: usize = 16;
+
+/// A filter process the controller created.
+#[derive(Debug, Clone)]
+pub struct FilterInfo {
+    /// Controller-local name (`f1`).
+    pub name: String,
+    /// Machine it runs on.
+    pub machine: String,
+    /// Its pid.
+    pub pid: Pid,
+    /// The port metered processes' meter connections go to.
+    pub port: u16,
+    /// Its log file path on its machine.
+    pub logfile: String,
+}
+
+/// The interactive measurement-session controller.
+pub struct Controller {
+    proc: Proc,
+    cluster: Arc<Cluster>,
+    machine: String,
+    control_port: u16,
+    jobs: HashMap<String, Job>,
+    job_order: Vec<String>,
+    filters: Vec<FilterInfo>,
+    next_filter_port: u16,
+    notifications: Arc<Mutex<VecDeque<Request>>>,
+    /// Stack of `sink` output files (top active); empty = terminal.
+    sinks: Vec<String>,
+    /// Full terminal transcript of the session.
+    transcript: String,
+    /// Armed after a first `die` with active processes.
+    die_armed: bool,
+    /// Signals the parked controller-process body to exit.
+    quit_tx: Option<mpsc::Sender<()>>,
+    done: bool,
+}
+
+impl std::fmt::Debug for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Controller")
+            .field("machine", &self.machine)
+            .field("jobs", &self.job_order)
+            .field("filters", &self.filters.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Controller {
+    /// Starts a controller on `machine` for user `uid`. Spawns the
+    /// control process, binds its notification socket on
+    /// `control_port`, and forks the listener that receives daemon-
+    /// initiated state-change and I/O messages.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for an unknown machine; socket errors propagate.
+    pub fn start(
+        cluster: &Arc<Cluster>,
+        machine: &str,
+        uid: Uid,
+        control_port: u16,
+    ) -> SysResult<Controller> {
+        let m = cluster.machine(machine).ok_or(SysError::Enoent)?;
+        let (quit_tx, quit_rx) = mpsc::channel::<()>();
+        let (proc_tx, proc_rx) = mpsc::channel::<Proc>();
+        m.spawn_fn("control", uid, None, true, move |p| {
+            proc_tx.send(p.clone()).expect("hand proc to host");
+            // Park until the session ends; the host drives this
+            // process's system calls through the cloned handle. Poll
+            // so a cluster-wide kill still terminates the session.
+            loop {
+                match quit_rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                    Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return Ok(()),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        // A zero-length sleep notices a pending kill.
+                        p.sleep_ms(0)?;
+                    }
+                }
+            }
+        });
+        let proc = proc_rx.recv().expect("controller proc");
+        let notifications: Arc<Mutex<VecDeque<Request>>> = Arc::new(Mutex::new(VecDeque::new()));
+
+        // "A controller maintains an IPC socket for the purpose of
+        // establishing connections for state change reports. It
+        // listens to this socket to detect messages arriving from
+        // meterdaemons." (§3.5.1)
+        let ns = proc.socket(Domain::Inet, SockType::Stream)?;
+        proc.bind(ns, BindTo::Port(control_port))?;
+        proc.listen(ns, 32)?;
+        let sink = notifications.clone();
+        proc.fork_with(move |lp| loop {
+            let (conn, _) = lp.accept(ns)?;
+            while let Some(frame) = read_frame(&lp, conn)? {
+                if let Ok(req) = Request::decode(&frame) {
+                    sink.lock().push_back(req);
+                }
+            }
+            lp.close(conn)?;
+        })?;
+
+        Ok(Controller {
+            proc,
+            cluster: cluster.clone(),
+            machine: machine.to_owned(),
+            control_port,
+            jobs: HashMap::new(),
+            job_order: Vec::new(),
+            filters: Vec::new(),
+            next_filter_port: 4000,
+            notifications,
+            sinks: Vec::new(),
+            transcript: String::new(),
+            die_armed: false,
+            quit_tx: Some(quit_tx),
+            done: false,
+        })
+    }
+
+    /// The machine this controller runs on.
+    pub fn machine(&self) -> &str {
+        &self.machine
+    }
+
+    /// The full terminal transcript so far (prompts, commands,
+    /// outputs, notifications).
+    pub fn transcript(&self) -> &str {
+        &self.transcript
+    }
+
+    /// Whether `die` has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The filters created so far.
+    pub fn filters(&self) -> &[FilterInfo] {
+        &self.filters
+    }
+
+    /// The current state of a job's processes, for assertions in
+    /// tests and examples.
+    pub fn job(&self, name: &str) -> Option<&Job> {
+        self.jobs.get(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Output plumbing
+    // ------------------------------------------------------------------
+
+    fn emit(&mut self, text: &str) {
+        if let Some(path) = self.sinks.last() {
+            // "Sink provides a way for the output of commands to be
+            // written to a file instead of to the terminal." (§4.3)
+            let mut data = text.as_bytes().to_vec();
+            data.push(b'\n');
+            let path = path.clone();
+            self.proc.machine().fs().append(&path, &data);
+        } else {
+            self.transcript.push_str(text);
+            self.transcript.push('\n');
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Notifications
+    // ------------------------------------------------------------------
+
+    /// Drains pending daemon notifications into the transcript,
+    /// updating process states. Returns the lines produced.
+    pub fn pump(&mut self) -> Vec<String> {
+        let pending: Vec<Request> = {
+            let mut q = self.notifications.lock();
+            q.drain(..).collect()
+        };
+        let mut lines = Vec::new();
+        for n in pending {
+            match n {
+                Request::StateChange { pid, state } => {
+                    let mut hit = None;
+                    for jname in &self.job_order {
+                        if let Some(j) = self.jobs.get_mut(jname) {
+                            if let Some(p) = j.procs.iter_mut().find(|p| p.pid == pid) {
+                                if let Some(next) = p.state.next(ProcAction::Complete) {
+                                    p.state = next;
+                                } else {
+                                    p.state = ProcState::Killed;
+                                }
+                                hit = Some((jname.clone(), p.name.clone()));
+                                break;
+                            }
+                        }
+                    }
+                    if let Some((job, name)) = hit {
+                        let reason = if state == 0 { "normal" } else { "killed" };
+                        lines.push(format!(
+                            "DONE: process {name} in job '{job}' terminated: reason: {reason}"
+                        ));
+                    }
+                }
+                Request::IoData { pid, data } => {
+                    let name = self
+                        .job_order
+                        .iter()
+                        .filter_map(|j| self.jobs.get(j))
+                        .flat_map(|j| j.procs.iter())
+                        .find(|p| p.pid == pid)
+                        .map(|p| p.name.clone())
+                        .unwrap_or_else(|| pid.to_string());
+                    let text = String::from_utf8_lossy(&data);
+                    for l in text.lines() {
+                        lines.push(format!("{name}> {l}"));
+                    }
+                }
+                _ => {}
+            }
+        }
+        for l in &lines {
+            self.emit(l);
+        }
+        lines
+    }
+
+    /// Pumps notifications until every process of `job` has
+    /// terminated (or is merely acquired), or `timeout_ms` of real
+    /// time passes. Returns `true` when the job completed.
+    pub fn wait_job(&mut self, job: &str, timeout_ms: u64) -> bool {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        loop {
+            self.pump();
+            match self.jobs.get(job) {
+                None => return false,
+                Some(j) => {
+                    if j.procs
+                        .iter()
+                        .all(|p| matches!(p.state, ProcState::Killed | ProcState::Acquired))
+                    {
+                        return true;
+                    }
+                }
+            }
+            if std::time::Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Command interpreter
+    // ------------------------------------------------------------------
+
+    /// Executes one command line, echoing it and its output into the
+    /// transcript; returns the output lines (not including the echoed
+    /// prompt).
+    pub fn exec(&mut self, line: &str) -> String {
+        self.exec_depth(line, 0)
+    }
+
+    fn exec_depth(&mut self, line: &str, depth: usize) -> String {
+        self.pump();
+        let echoed = format!("<Control> {line}");
+        if self.sinks.is_empty() {
+            self.transcript.push_str(&echoed);
+            self.transcript.push('\n');
+        }
+        let before = self.out_marker();
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return String::new();
+        }
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().expect("nonempty");
+        let args: Vec<&str> = parts.collect();
+        if cmd != "die" && cmd != "bye" && cmd != "exit" {
+            self.die_armed = false;
+        }
+        match cmd {
+            "help" => self.cmd_help(),
+            "filter" => self.cmd_filter(&args),
+            "newjob" => self.cmd_newjob(&args),
+            "addprocess" | "add" => self.cmd_addprocess(&args),
+            "acquire" => self.cmd_acquire(&args),
+            "setflags" => self.cmd_setflags(&args),
+            "startjob" => self.cmd_startstop(&args, true),
+            "stopjob" => self.cmd_startstop(&args, false),
+            "removejob" | "rmjob" => self.cmd_removejob(&args),
+            "removeprocess" | "rmproc" => self.cmd_removeprocess(&args),
+            "jobs" => self.cmd_jobs(&args),
+            "getlog" => self.cmd_getlog(&args),
+            "source" => self.cmd_source(&args, depth),
+            "sink" => self.cmd_sink(&args),
+            "input" => self.cmd_input(&args),
+            "die" | "bye" | "exit" => self.cmd_die(),
+            other => self.emit(&format!("unknown command '{other}'; try help")),
+        }
+        self.out_since(before)
+    }
+
+    fn out_marker(&self) -> usize {
+        self.transcript.len()
+    }
+
+    fn out_since(&self, marker: usize) -> String {
+        self.transcript[marker..].to_owned()
+    }
+
+    fn cmd_help(&mut self) {
+        self.emit("Commands:");
+        self.emit("  filter [<name> [<machine> [<filterfile> [<descriptions> [<templates>]]]]]");
+        self.emit("  newjob <jobname> [<filtername>]");
+        self.emit("  addprocess <jobname> <machine> <processfile> [<parms ...>] [< <inputfile>]");
+        self.emit("  acquire <jobname> <machine> <process identifier>");
+        self.emit("  setflags <jobname> <flag1 flag2 ...>   (prefix - to reset)");
+        self.emit("  startjob <jobname>      stopjob <jobname>");
+        self.emit("  removejob <jobname>     removeprocess <jobname> <process>");
+        self.emit("  jobs [<jobname1 jobname2 ...>]");
+        self.emit("  getlog <filtername> <destination filename>");
+        self.emit("  source <filename>       sink [<filename>]");
+        self.emit("  input <jobname> <process> <text>");
+        self.emit("  die (aliases: exit, bye)");
+        self.emit("Meter flags: fork termproc send receivecall receive socket");
+        self.emit("             dup destsocket accept connect immediate all");
+    }
+
+    /// `filter` — create a filter process, or list filters (§4.3).
+    fn cmd_filter(&mut self, args: &[&str]) {
+        if args.is_empty() {
+            if self.filters.is_empty() {
+                self.emit("no filters");
+            }
+            let lines: Vec<String> = self
+                .filters
+                .iter()
+                .map(|f| format!("{}  pid {}  machine {}  port {}", f.name, f.pid, f.machine, f.port))
+                .collect();
+            for l in lines {
+                self.emit(&l);
+            }
+            return;
+        }
+        let name = args[0].to_owned();
+        if self.filters.iter().any(|f| f.name == name) {
+            self.emit(&format!("filter '{name}' already exists"));
+            return;
+        }
+        let machine = args.get(1).map_or(self.machine.clone(), |s| (*s).to_owned());
+        let filterfile = args.get(2).map_or("/bin/filter".to_owned(), |s| (*s).to_owned());
+        let descriptions = args.get(3).map_or("descriptions".to_owned(), |s| (*s).to_owned());
+        let templates = args.get(4).map_or("templates".to_owned(), |s| (*s).to_owned());
+        if self.cluster.machine(&machine).is_none() {
+            self.emit(&format!("unknown machine '{machine}'"));
+            return;
+        }
+        // Make sure the description/template files exist on the
+        // filter's machine: copy the controller's local versions when
+        // present, else install the standard ones.
+        let local_fs = self.proc.machine().fs();
+        let desc_data = local_fs
+            .read(&descriptions)
+            .unwrap_or_else(|| Descriptions::standard_text().as_bytes().to_vec());
+        let tmpl_data = local_fs.read(&templates).unwrap_or_default();
+        if Descriptions::parse(&String::from_utf8_lossy(&desc_data)).is_err() {
+            self.emit(&format!("descriptions file '{descriptions}' is malformed"));
+            return;
+        }
+        if Rules::parse(&String::from_utf8_lossy(&tmpl_data)).is_err() {
+            self.emit(&format!("templates file '{templates}' is malformed"));
+            return;
+        }
+        for (path, data) in [(&descriptions, desc_data), (&templates, tmpl_data)] {
+            let r = self.rpc(&machine, &Request::WriteFile {
+                path: path.clone(),
+                data,
+            });
+            if r.map(|r| r.status()) != Ok(status::OK) {
+                self.emit(&format!("cannot install '{path}' on {machine}"));
+                return;
+            }
+        }
+        let port = self.next_filter_port;
+        self.next_filter_port += 1;
+        let logfile = format!("/usr/tmp/log.{name}");
+        let reply = self.rpc(&machine, &Request::CreateFilter {
+            filterfile,
+            port,
+            logfile: logfile.clone(),
+            descriptions,
+            templates,
+        });
+        match reply {
+            Ok(Reply::Create { pid, status: 0 }) => {
+                self.filters.push(FilterInfo {
+                    name: name.clone(),
+                    machine,
+                    pid,
+                    port,
+                    logfile,
+                });
+                self.emit(&format!("filter '{name}' ... created: identifier= {pid}"));
+            }
+            Ok(r) => self.emit(&format!("filter creation failed: status {}", r.status())),
+            Err(e) => self.emit(&format!("filter creation failed: {e}")),
+        }
+    }
+
+    /// `newjob <jobname> [<filtername>]` (§4.3).
+    fn cmd_newjob(&mut self, args: &[&str]) {
+        let Some(name) = args.first() else {
+            self.emit("usage: newjob <jobname> [<filtername>]");
+            return;
+        };
+        if self.jobs.contains_key(*name) {
+            self.emit(&format!("job '{name}' already exists"));
+            return;
+        }
+        // "A job cannot be created if a filter has not been created."
+        let filter = match args.get(1) {
+            Some(f) => {
+                if !self.filters.iter().any(|x| x.name == **f) {
+                    self.emit(&format!("no filter named '{f}'"));
+                    return;
+                }
+                (*f).to_owned()
+            }
+            None => match self.filters.first() {
+                Some(f) => f.name.clone(),
+                None => {
+                    self.emit("a job cannot be created before a filter exists");
+                    return;
+                }
+            },
+        };
+        self.jobs.insert((*name).to_owned(), Job::new(*name, filter));
+        self.job_order.push((*name).to_owned());
+    }
+
+    /// `addprocess <jobname> <machine> <processfile> [parms...]`
+    /// (§4.3). Copies the executable to the target machine when it is
+    /// only present locally (§3.5.3's `rcp`).
+    fn cmd_addprocess(&mut self, args: &[&str]) {
+        let (Some(job_name), Some(machine), Some(file)) = (args.first(), args.get(1), args.get(2))
+        else {
+            self.emit("usage: addprocess <jobname> <machine> <processfile> [<parms>]");
+            return;
+        };
+        let job_name = (*job_name).to_owned();
+        let machine = (*machine).to_owned();
+        let file = (*file).to_owned();
+        // `addprocess job machine file parms... < inputfile` redirects
+        // the process's standard input from a file (§3.5.2).
+        let rest: Vec<String> = args[3..].iter().map(|s| (*s).to_owned()).collect();
+        let (params, stdin_file) = match rest.iter().position(|t| t == "<") {
+            Some(pos) => {
+                let Some(f) = rest.get(pos + 1) else {
+                    self.emit("usage: addprocess ... < <inputfile>");
+                    return;
+                };
+                (rest[..pos].to_vec(), Some(f.clone()))
+            }
+            None => (rest, None),
+        };
+        let Some(job) = self.jobs.get(&job_name) else {
+            self.emit(&format!("no job named '{job_name}'"));
+            return;
+        };
+        let (filter_host, filter_port, flags) = {
+            let f = self
+                .filters
+                .iter()
+                .find(|f| f.name == job.filter)
+                .expect("job's filter exists");
+            (f.machine.clone(), f.port, job.flags)
+        };
+        if self.cluster.machine(&machine).is_none() {
+            self.emit(&format!("unknown machine '{machine}'"));
+            return;
+        }
+        // rcp: probe each needed remote file; copy ours when missing
+        // there (§3.5.3 for the binary, §3.5.2 for a redirected
+        // standard-input file).
+        let mut needed = vec![file.clone()];
+        needed.extend(stdin_file.clone());
+        for path in &needed {
+            let remote_has = matches!(
+                self.rpc(&machine, &Request::GetFile { path: path.clone() }),
+                Ok(Reply::File { status: 0, .. })
+            );
+            if remote_has {
+                continue;
+            }
+            match self.proc.machine().fs().read(path) {
+                Some(data) => {
+                    let r = self.rpc(&machine, &Request::WriteFile {
+                        path: path.clone(),
+                        data,
+                    });
+                    if r.map(|r| r.status()) != Ok(status::OK) {
+                        self.emit(&format!("cannot copy '{path}' to {machine}"));
+                        return;
+                    }
+                }
+                None => {
+                    self.emit(&format!("'{path}' not found locally or on {machine}"));
+                    return;
+                }
+            }
+        }
+        let control_host = self.machine.clone();
+        let control_port = self.control_port;
+        let reply = self.rpc(&machine, &Request::Create {
+            filename: file.clone(),
+            params,
+            filter_port,
+            filter_host,
+            meter_flags: flags,
+            control_port,
+            control_host,
+            redirect_io: true,
+            stdin_file,
+        });
+        match reply {
+            Ok(Reply::Create { pid, status: 0 }) => {
+                let display = file.rsplit('/').next().unwrap_or(&file).to_owned();
+                let job = self.jobs.get_mut(&job_name).expect("job exists");
+                job.procs.push(ManagedProc {
+                    name: display.clone(),
+                    machine,
+                    pid,
+                    state: ProcState::New,
+                });
+                self.emit(&format!("process '{display}' ... created: identifier= {pid}"));
+            }
+            Ok(r) => self.emit(&format!("process creation failed: status {}", r.status())),
+            Err(e) => self.emit(&format!("process creation failed: {e}")),
+        }
+    }
+
+    /// `acquire <jobname> <machine> <pid>` (§4.3).
+    fn cmd_acquire(&mut self, args: &[&str]) {
+        let (Some(job_name), Some(machine), Some(pid)) = (args.first(), args.get(1), args.get(2))
+        else {
+            self.emit("usage: acquire <jobname> <machine> <process identifier>");
+            return;
+        };
+        let Ok(pid_num) = pid.parse::<u32>() else {
+            self.emit(&format!("bad process identifier '{pid}'"));
+            return;
+        };
+        let job_name = (*job_name).to_owned();
+        let machine = (*machine).to_owned();
+        let Some(job) = self.jobs.get(&job_name) else {
+            self.emit(&format!("no job named '{job_name}'"));
+            return;
+        };
+        let (filter_host, filter_port, flags) = {
+            let f = self
+                .filters
+                .iter()
+                .find(|f| f.name == job.filter)
+                .expect("job's filter exists");
+            (f.machine.clone(), f.port, job.flags)
+        };
+        let control_host = self.machine.clone();
+        let control_port = self.control_port;
+        let reply = self.rpc(&machine, &Request::Acquire {
+            pid: Pid(pid_num),
+            filter_port,
+            filter_host,
+            meter_flags: flags,
+            control_port,
+            control_host,
+        });
+        match reply {
+            Ok(Reply::Create { pid, status: 0 }) => {
+                let job = self.jobs.get_mut(&job_name).expect("job exists");
+                job.procs.push(ManagedProc {
+                    name: format!("pid{pid}"),
+                    machine,
+                    pid,
+                    state: ProcState::Acquired,
+                });
+                self.emit(&format!("process {pid} ... acquired"));
+            }
+            Ok(r) => self.emit(&format!("acquire failed: status {}", r.status())),
+            Err(e) => self.emit(&format!("acquire failed: {e}")),
+        }
+    }
+
+    /// `setflags <jobname> <flag1 flag2 ...>` (§4.3).
+    fn cmd_setflags(&mut self, args: &[&str]) {
+        let Some(job_name) = args.first() else {
+            self.emit("usage: setflags <jobname> <flag1 flag2 ...>");
+            return;
+        };
+        let job_name = (*job_name).to_owned();
+        let Some(job) = self.jobs.get_mut(&job_name) else {
+            self.emit(&format!("no job named '{job_name}'"));
+            return;
+        };
+        let flags = match job.apply_flag_args(args[1..].iter().copied()) {
+            Ok(f) => f,
+            Err(tok) => {
+                self.emit(&format!("unknown flag '{tok}'"));
+                return;
+            }
+        };
+        self.emit(&format!("new job flags = {flags}"));
+        let targets: Vec<(String, String, Pid, ProcState)> = self
+            .jobs
+            .get(&job_name)
+            .expect("job exists")
+            .procs
+            .iter()
+            .map(|p| (p.name.clone(), p.machine.clone(), p.pid, p.state))
+            .collect();
+        for (name, machine, pid, state) in targets {
+            if state == ProcState::Killed {
+                continue;
+            }
+            let r = self.rpc(&machine, &Request::SetFlags { pid, flags });
+            match r {
+                Ok(r) if r.status() == status::OK => {
+                    self.emit(&format!("Process '{name}' : Flags set"));
+                }
+                _ => self.emit(&format!("Process '{name}' : setflags failed")),
+            }
+        }
+    }
+
+    /// `startjob` / `stopjob` (§4.3).
+    fn cmd_startstop(&mut self, args: &[&str], start: bool) {
+        let Some(job_name) = args.first() else {
+            self.emit(if start {
+                "usage: startjob <jobname>"
+            } else {
+                "usage: stopjob <jobname>"
+            });
+            return;
+        };
+        let job_name = (*job_name).to_owned();
+        if !self.jobs.contains_key(&job_name) {
+            self.emit(&format!("no job named '{job_name}'"));
+            return;
+        }
+        let action = if start { ProcAction::Start } else { ProcAction::Stop };
+        let targets: Vec<(String, String, Pid, ProcState)> = self.jobs[&job_name]
+            .procs
+            .iter()
+            .map(|p| (p.name.clone(), p.machine.clone(), p.pid, p.state))
+            .collect();
+        for (name, machine, pid, state) in targets {
+            match state.next(action) {
+                Some(next) => {
+                    let req = if start {
+                        Request::Start { pid }
+                    } else {
+                        Request::Stop { pid }
+                    };
+                    let ok = self.rpc(&machine, &req).map(|r| r.status()) == Ok(status::OK);
+                    if ok {
+                        if let Some(p) = self
+                            .jobs
+                            .get_mut(&job_name)
+                            .and_then(|j| j.proc_by_name(&name))
+                        {
+                            p.state = next;
+                        }
+                        self.emit(&format!(
+                            "'{name}' {}.",
+                            if start { "started" } else { "stopped" }
+                        ));
+                    } else {
+                        self.emit(&format!("'{name}' : request failed"));
+                    }
+                }
+                // "Processes that are running, killed, or acquired
+                // cannot be started. The user is informed as to the
+                // status of each process." / stopjob ignores killed
+                // and acquired.
+                None => self.emit(&format!(
+                    "'{name}' cannot be {} ({state}).",
+                    if start { "started" } else { "stopped" }
+                )),
+            }
+        }
+    }
+
+    /// `removejob <jobname>` (§4.3).
+    fn cmd_removejob(&mut self, args: &[&str]) {
+        let Some(job_name) = args.first() else {
+            self.emit("usage: removejob <jobname>");
+            return;
+        };
+        let job_name = (*job_name).to_owned();
+        let Some(job) = self.jobs.get(&job_name) else {
+            self.emit(&format!("no job named '{job_name}'"));
+            return;
+        };
+        if !job.removable() {
+            self.emit(&format!(
+                "job '{job_name}' has running or new processes; not removed"
+            ));
+            return;
+        }
+        let targets: Vec<(String, String, Pid, ProcState)> = job
+            .procs
+            .iter()
+            .map(|p| (p.name.clone(), p.machine.clone(), p.pid, p.state))
+            .collect();
+        for (name, machine, pid, state) in targets {
+            match state {
+                ProcState::Stopped => {
+                    let _ = self.rpc(&machine, &Request::Kill { pid });
+                }
+                ProcState::Acquired => {
+                    // "The control program insures that the filter
+                    // connection of that process is taken down … but
+                    // the process continues to execute."
+                    let _ = self.rpc(&machine, &Request::ClearMeter { pid });
+                }
+                _ => {}
+            }
+            self.emit(&format!("'{name}' removed"));
+        }
+        self.jobs.remove(&job_name);
+        self.job_order.retain(|j| *j != job_name);
+    }
+
+    /// `removeprocess <jobname> <process>`.
+    fn cmd_removeprocess(&mut self, args: &[&str]) {
+        let (Some(job_name), Some(proc_name)) = (args.first(), args.get(1)) else {
+            self.emit("usage: removeprocess <jobname> <process>");
+            return;
+        };
+        let job_name = (*job_name).to_owned();
+        let proc_name = (*proc_name).to_owned();
+        let Some(job) = self.jobs.get_mut(&job_name) else {
+            self.emit(&format!("no job named '{job_name}'"));
+            return;
+        };
+        let Some(p) = job.proc_by_name(&proc_name) else {
+            self.emit(&format!("no process '{proc_name}' in job '{job_name}'"));
+            return;
+        };
+        let (machine, pid, state) = (p.machine.clone(), p.pid, p.state);
+        match state {
+            ProcState::Killed => {}
+            ProcState::Stopped => {
+                let _ = self.rpc(&machine, &Request::Kill { pid });
+            }
+            ProcState::Acquired => {
+                let _ = self.rpc(&machine, &Request::ClearMeter { pid });
+            }
+            ProcState::New | ProcState::Running => {
+                self.emit(&format!(
+                    "'{proc_name}' is {state}; stop it before removing"
+                ));
+                return;
+            }
+        }
+        let job = self.jobs.get_mut(&job_name).expect("job exists");
+        if let Some(pos) = job.procs.iter().position(|p| p.name == proc_name) {
+            job.procs.remove(pos);
+        }
+        self.emit(&format!("'{proc_name}' removed"));
+    }
+
+    /// `jobs [<names...>]` (§4.3).
+    fn cmd_jobs(&mut self, args: &[&str]) {
+        if args.is_empty() {
+            let lines: Vec<String> = self
+                .job_order
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let j = &self.jobs[name];
+                    format!("{}  {}  filter={}", i + 1, name, j.filter)
+                })
+                .collect();
+            if lines.is_empty() {
+                self.emit("no jobs");
+            }
+            for l in lines {
+                self.emit(&l);
+            }
+            return;
+        }
+        for name in args {
+            let Some(j) = self.jobs.get(*name) else {
+                self.emit(&format!("no job named '{name}'"));
+                continue;
+            };
+            let lines: Vec<String> = j
+                .procs
+                .iter()
+                .map(|p| {
+                    format!(
+                        "  {}  {}  {}  {}  flags: {}",
+                        p.pid, p.state, p.name, p.machine, j.flags
+                    )
+                })
+                .collect();
+            self.emit(&format!("job '{name}':"));
+            for l in lines {
+                self.emit(&l);
+            }
+        }
+    }
+
+    /// `getlog <filtername> <destination>` (§4.3).
+    fn cmd_getlog(&mut self, args: &[&str]) {
+        let (Some(fname), Some(dest)) = (args.first(), args.get(1)) else {
+            self.emit("usage: getlog <filtername> <destination filename>");
+            return;
+        };
+        let Some(f) = self.filters.iter().find(|f| f.name == **fname).cloned() else {
+            self.emit(&format!("no filter named '{fname}'"));
+            return;
+        };
+        match self.rpc(&f.machine, &Request::GetFile { path: f.logfile.clone() }) {
+            Ok(Reply::File { status: 0, data }) => {
+                self.proc.machine().fs().write(dest, data);
+            }
+            _ => self.emit(&format!("cannot retrieve log of filter '{fname}'")),
+        }
+    }
+
+    /// `source <filename>` (§4.3): run a command script, nesting up to
+    /// sixteen deep.
+    fn cmd_source(&mut self, args: &[&str], depth: usize) {
+        let Some(path) = args.first() else {
+            self.emit("usage: source <filename>");
+            return;
+        };
+        if depth >= MAX_SOURCE_DEPTH {
+            self.emit("source scripts nested too deeply");
+            return;
+        }
+        let Some(text) = self.proc.machine().fs().read_string(path) else {
+            self.emit(&format!("cannot read script '{path}'"));
+            return;
+        };
+        for line in text.lines() {
+            self.exec_depth(line, depth + 1);
+        }
+    }
+
+    /// `sink [<filename>]` (§4.3).
+    fn cmd_sink(&mut self, args: &[&str]) {
+        match args.first() {
+            Some(path) => self.sinks.push((*path).to_owned()),
+            None => {
+                self.sinks.pop();
+            }
+        }
+    }
+
+    /// `input <jobname> <process> <text>` — feed a process's
+    /// redirected standard input through its daemon (§3.5.2).
+    fn cmd_input(&mut self, args: &[&str]) {
+        let (Some(job_name), Some(proc_name)) = (args.first(), args.get(1)) else {
+            self.emit("usage: input <jobname> <process> <text>");
+            return;
+        };
+        let text = args[2..].join(" ") + "\n";
+        let target = self
+            .jobs
+            .get_mut(*job_name)
+            .and_then(|j| j.proc_by_name(proc_name))
+            .map(|p| (p.machine.clone(), p.pid));
+        let Some((machine, pid)) = target else {
+            self.emit("no such process");
+            return;
+        };
+        let r = self.rpc(&machine, &Request::SendInput {
+            pid,
+            data: text.into_bytes(),
+        });
+        if r.map(|r| r.status()) != Ok(status::OK) {
+            self.emit("input failed");
+        }
+    }
+
+    /// `die` (§4.3): refuse once while processes are active, then exit
+    /// on an immediately repeated `die`.
+    fn cmd_die(&mut self) {
+        let active = self.jobs.values().any(Job::has_active);
+        if active && !self.die_armed {
+            self.die_armed = true;
+            self.emit("there are still active processes; repeat die to exit anyway");
+            return;
+        }
+        // "Upon exit, all executing filter processes are removed."
+        let filters: Vec<FilterInfo> = self.filters.drain(..).collect();
+        for f in filters {
+            let _ = self.rpc(&f.machine, &Request::Kill { pid: f.pid });
+        }
+        if let Some(tx) = self.quit_tx.take() {
+            let _ = tx.send(());
+        }
+        self.done = true;
+    }
+
+    fn rpc(&self, machine: &str, req: &Request) -> Result<Reply, SysError> {
+        rpc_call(&self.proc, machine, req)
+    }
+}

@@ -1,0 +1,244 @@
+//! The filter engine: stream reassembly, selection, reduction.
+//!
+//! "After receiving a message from standard input, the default filter
+//! performs selection and reduction operations on the event records
+//! received. It uses event record descriptions and selection rules to
+//! specify the criteria for data selection and reduction." (§3.4)
+//!
+//! [`FilterEngine`] is the pure core — bytes in, log lines out — used
+//! both by the standard filter *process* (see [`crate::program`]) and
+//! directly by unit tests and benchmarks.
+
+use crate::desc::{Descriptions, HEADER_LEN};
+use crate::log::LogRecord;
+use crate::rules::{Rules, Verdict};
+
+/// Counters the filter keeps about its own work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterStats {
+    /// Records examined.
+    pub seen: u64,
+    /// Records written to the log.
+    pub kept: u64,
+    /// Records rejected by the selection rules.
+    pub rejected: u64,
+    /// Bytes of malformed input dropped while resynchronizing.
+    pub garbage_bytes: u64,
+}
+
+/// A streaming filter: feed it meter-connection bytes, collect log
+/// lines.
+///
+/// # Example
+///
+/// ```
+/// use dpm_filter::{Descriptions, FilterEngine, Rules};
+/// use dpm_meter::{MeterBody, MeterFork, MeterHeader, MeterMsg, trace_type};
+///
+/// let mut engine = FilterEngine::new(
+///     Descriptions::standard(),
+///     Rules::parse("type=7")?, // keep only forks
+/// );
+/// let msg = MeterMsg {
+///     header: MeterHeader { size: 0, machine: 0, cpu_time: 5, proc_time: 0,
+///                           trace_type: trace_type::FORK },
+///     body: MeterBody::Fork(MeterFork { pid: 1, pc: 2, new_pid: 3 }),
+/// };
+/// let lines = engine.feed(&msg.encode());
+/// assert_eq!(lines.len(), 1);
+/// assert!(lines[0].starts_with("event=fork"));
+/// # Ok::<(), dpm_filter::RuleParseError>(())
+/// ```
+#[derive(Debug)]
+pub struct FilterEngine {
+    desc: Descriptions,
+    rules: Rules,
+    buf: Vec<u8>,
+    stats: FilterStats,
+}
+
+impl FilterEngine {
+    /// Creates an engine with the given descriptions and rules.
+    pub fn new(desc: Descriptions, rules: Rules) -> FilterEngine {
+        FilterEngine {
+            desc,
+            rules,
+            buf: Vec::new(),
+            stats: FilterStats::default(),
+        }
+    }
+
+    /// An engine with the standard descriptions and keep-everything
+    /// rules.
+    pub fn standard() -> FilterEngine {
+        FilterEngine::new(Descriptions::standard(), Rules::default())
+    }
+
+    /// The engine's counters.
+    pub fn stats(&self) -> FilterStats {
+        self.stats
+    }
+
+    /// Bytes buffered awaiting a complete record.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Feeds a chunk of meter-connection bytes; returns the log lines
+    /// for the records completed and kept by this chunk.
+    pub fn feed(&mut self, data: &[u8]) -> Vec<String> {
+        self.buf.extend_from_slice(data);
+        let mut out = Vec::new();
+        loop {
+            if self.buf.len() < HEADER_LEN {
+                break;
+            }
+            let size = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
+                as usize;
+            if !(HEADER_LEN..=4096).contains(&size) {
+                // Corrupt stream: drop one byte and resynchronize.
+                self.buf.remove(0);
+                self.stats.garbage_bytes += 1;
+                continue;
+            }
+            if self.buf.len() < size {
+                break;
+            }
+            let record: Vec<u8> = self.buf.drain(..size).collect();
+            if let Some(line) = self.process_record(&record) {
+                out.push(line);
+            }
+        }
+        out
+    }
+
+    /// Runs one complete record through selection and reduction.
+    pub fn process_record(&mut self, record: &[u8]) -> Option<String> {
+        self.stats.seen += 1;
+        match self.rules.verdict(&self.desc, record) {
+            Verdict::Reject => {
+                self.stats.rejected += 1;
+                None
+            }
+            Verdict::Keep { discard_fields } => {
+                match LogRecord::from_raw(&self.desc, record, &discard_fields) {
+                    Some(rec) => {
+                        self.stats.kept += 1;
+                        Some(rec.to_string())
+                    }
+                    None => {
+                        // Unknown trace type: count it as garbage.
+                        self.stats.garbage_bytes += record.len() as u64;
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_meter::{
+        MeterBody, MeterFork, MeterHeader, MeterMsg, MeterSendMsg, SockName,
+    };
+
+    fn msg(machine: u16, body: MeterBody) -> Vec<u8> {
+        MeterMsg {
+            header: MeterHeader {
+                size: 0,
+                machine,
+                cpu_time: 1,
+                proc_time: 0,
+                trace_type: body.trace_type(),
+            },
+            body,
+        }
+        .encode()
+    }
+
+    fn send(machine: u16, len: u32) -> Vec<u8> {
+        msg(
+            machine,
+            MeterBody::Send(MeterSendMsg {
+                pid: 1,
+                pc: 0,
+                sock: 2,
+                msg_length: len,
+                dest_name: Some(SockName::inet(0, 9)),
+            }),
+        )
+    }
+
+    #[test]
+    fn reassembles_records_across_chunk_boundaries() {
+        let mut e = FilterEngine::standard();
+        let a = send(0, 10);
+        let b = send(0, 20);
+        let mut wire = a.clone();
+        wire.extend_from_slice(&b);
+        // Feed in awkward chunks.
+        let mut lines = Vec::new();
+        for chunk in wire.chunks(7) {
+            lines.extend(e.feed(chunk));
+        }
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("msgLength=10"));
+        assert!(lines[1].contains("msgLength=20"));
+        assert_eq!(e.pending_bytes(), 0);
+        assert_eq!(e.stats().kept, 2);
+    }
+
+    #[test]
+    fn selection_rejects_and_counts() {
+        let mut e = FilterEngine::new(
+            Descriptions::standard(),
+            Rules::parse("machine=5").unwrap(),
+        );
+        let mut wire = send(5, 1);
+        wire.extend_from_slice(&send(6, 1));
+        let lines = e.feed(&wire);
+        assert_eq!(lines.len(), 1);
+        assert_eq!(e.stats().seen, 2);
+        assert_eq!(e.stats().rejected, 1);
+    }
+
+    #[test]
+    fn resynchronizes_after_garbage() {
+        let mut e = FilterEngine::standard();
+        let mut wire = vec![0xff; 5]; // garbage prefix
+        wire.extend_from_slice(&send(1, 7));
+        let lines = e.feed(&wire);
+        assert_eq!(lines.len(), 1, "recovered the record after garbage");
+        assert!(e.stats().garbage_bytes >= 5);
+    }
+
+    #[test]
+    fn discard_reduction_happens_in_output() {
+        let mut e = FilterEngine::new(
+            Descriptions::standard(),
+            Rules::parse("type=1, pc=#*").unwrap(),
+        );
+        let lines = e.feed(&send(0, 3));
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].contains("pc="), "pc was discarded: {}", lines[0]);
+    }
+
+    #[test]
+    fn partial_header_waits_for_more() {
+        let mut e = FilterEngine::standard();
+        let wire = msg(
+            0,
+            MeterBody::Fork(MeterFork {
+                pid: 1,
+                pc: 2,
+                new_pid: 3,
+            }),
+        );
+        assert!(e.feed(&wire[..10]).is_empty());
+        assert_eq!(e.pending_bytes(), 10);
+        let lines = e.feed(&wire[10..]);
+        assert_eq!(lines.len(), 1);
+    }
+}

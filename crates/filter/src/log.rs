@@ -1,0 +1,216 @@
+//! The trace-log record format.
+//!
+//! "A filter sends its output to a log file located in the `/usr/tmp`
+//! directory. Each filter has its own log file." (§3.4)
+//!
+//! The paper stored reduced binary records; this implementation writes
+//! one self-describing text line per accepted record so that analysis
+//! programs (and humans) can read logs without carrying the
+//! descriptions file around. Discarded (`#`) fields simply do not
+//! appear on the line.
+//!
+//! Line shape:
+//!
+//! ```text
+//! event=send machine=0 cpuTime=2113 procTime=10 pid=2120 pc=4 sock=5 msgLength=64 destName=inet:1:1701
+//! ```
+
+use crate::desc::Descriptions;
+use std::collections::HashMap;
+use std::fmt;
+
+/// One record of a trace log.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogRecord {
+    /// The event name (`send`, `accept`, …).
+    pub event: String,
+    /// Field name/value pairs in layout order (values in display
+    /// form).
+    pub fields: Vec<(String, String)>,
+}
+
+impl LogRecord {
+    /// Builds a record from a raw meter message, skipping the named
+    /// discard fields.
+    pub fn from_raw(desc: &Descriptions, record: &[u8], discard: &[String]) -> Option<LogRecord> {
+        let trace = Descriptions::record_type(record)?;
+        let event = desc.event(trace)?.name.clone();
+        let fields = desc
+            .all_fields(record)
+            .into_iter()
+            .filter(|(name, _)| !discard.iter().any(|d| d == name || (d == "size" && name == "msgLength")))
+            .map(|(name, value)| (name, value.to_string()))
+            .collect();
+        Some(LogRecord { event, fields })
+    }
+
+    /// Looks up a field's display value.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Looks up a field as an integer.
+    pub fn get_int(&self, name: &str) -> Option<u64> {
+        self.get(name)?.parse().ok()
+    }
+
+    /// Parses one log line.
+    ///
+    /// Returns `None` for lines that are not records (blank, comments).
+    pub fn parse(line: &str) -> Option<LogRecord> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return None;
+        }
+        let mut event = String::new();
+        let mut fields = Vec::new();
+        for token in line.split_whitespace() {
+            let (name, value) = token.split_once('=')?;
+            if name == "event" {
+                event = value.to_owned();
+            } else {
+                fields.push((name.to_owned(), value.to_owned()));
+            }
+        }
+        if event.is_empty() {
+            return None;
+        }
+        Some(LogRecord { event, fields })
+    }
+
+    /// Parses a whole log file.
+    pub fn parse_log(text: &str) -> Vec<LogRecord> {
+        text.lines().filter_map(LogRecord::parse).collect()
+    }
+}
+
+impl fmt::Display for LogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event={}", self.event)?;
+        for (n, v) in &self.fields {
+            write!(f, " {n}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary statistics over a trace log, handy for quick looks and for
+/// the example programs' output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LogSummary {
+    /// Record count per event name.
+    pub by_event: HashMap<String, usize>,
+    /// Total records.
+    pub total: usize,
+}
+
+impl LogSummary {
+    /// Tallies a set of records.
+    pub fn of(records: &[LogRecord]) -> LogSummary {
+        let mut by_event = HashMap::new();
+        for r in records {
+            *by_event.entry(r.event.clone()).or_insert(0) += 1;
+        }
+        LogSummary {
+            total: records.len(),
+            by_event,
+        }
+    }
+}
+
+impl fmt::Display for LogSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} event records", self.total)?;
+        let mut names: Vec<&String> = self.by_event.keys().collect();
+        names.sort();
+        for n in names {
+            writeln!(f, "  {:<12} {}", n, self.by_event[n])?;
+        }
+        Ok(())
+    }
+}
+
+/// Re-export of [`crate::desc::FieldValue`] for downstream crates
+/// that build records by hand in tests.
+pub use crate::desc::FieldValue as Value;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpm_meter::{MeterBody, MeterHeader, MeterMsg, MeterSendMsg, SockName};
+
+    fn send_record() -> Vec<u8> {
+        MeterMsg {
+            header: MeterHeader {
+                size: 0,
+                machine: 0,
+                cpu_time: 2113,
+                proc_time: 10,
+                trace_type: dpm_meter::trace_type::SEND,
+            },
+            body: MeterBody::Send(MeterSendMsg {
+                pid: 2120,
+                pc: 4,
+                sock: 5,
+                msg_length: 64,
+                dest_name: Some(SockName::inet(1, 1701)),
+            }),
+        }
+        .encode()
+    }
+
+    #[test]
+    fn raw_to_line_and_back() {
+        let d = Descriptions::standard();
+        let rec = LogRecord::from_raw(&d, &send_record(), &[]).unwrap();
+        let line = rec.to_string();
+        assert_eq!(
+            line,
+            "event=send machine=0 cpuTime=2113 procTime=10 traceType=1 pid=2120 pc=4 sock=5 msgLength=64 destName=inet:1:1701"
+        );
+        let back = LogRecord::parse(&line).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.get_int("msgLength"), Some(64));
+        assert_eq!(back.get("destName"), Some("inet:1:1701"));
+    }
+
+    #[test]
+    fn discard_fields_vanish() {
+        let d = Descriptions::standard();
+        let rec =
+            LogRecord::from_raw(&d, &send_record(), &["machine".into(), "pc".into()]).unwrap();
+        assert_eq!(rec.get("machine"), None);
+        assert_eq!(rec.get("pc"), None);
+        assert_eq!(rec.get_int("pid"), Some(2120));
+    }
+
+    #[test]
+    fn size_alias_discards_msg_length() {
+        let d = Descriptions::standard();
+        let rec = LogRecord::from_raw(&d, &send_record(), &["size".into()]).unwrap();
+        assert_eq!(rec.get("msgLength"), None);
+    }
+
+    #[test]
+    fn parse_log_skips_junk() {
+        let text = "\n# comment\nevent=fork pid=1 newPid=2\nnot-a-record\n";
+        let recs = LogRecord::parse_log(text);
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].event, "fork");
+    }
+
+    #[test]
+    fn summary_counts() {
+        let recs = LogRecord::parse_log("event=send pid=1\nevent=send pid=2\nevent=fork pid=1\n");
+        let s = LogSummary::of(&recs);
+        assert_eq!(s.total, 3);
+        assert_eq!(s.by_event["send"], 2);
+        assert_eq!(s.by_event["fork"], 1);
+        let shown = s.to_string();
+        assert!(shown.contains("3 event records"));
+        assert!(shown.contains("send"));
+    }
+}

@@ -1,0 +1,98 @@
+//! The standard filter *process*.
+//!
+//! "Filter processes do not exist by default in the measurement tool.
+//! The user must tell the control process to create a filter process.
+//! … A standard filter is provided by the measurement tool. However,
+//! given a few basic constraints, custom filters can be easily
+//! written." (§3.3)
+//!
+//! The one basic constraint (§3.4) is that a filter must listen for
+//! meter messages arriving over meter connections; this implementation
+//! binds an Internet-domain stream socket at the port given in its
+//! first argument, accepts one connection per metered process, and
+//! forks a helper per connection (each meter connection is an
+//! independent byte stream). Accepted records are appended to the
+//! filter's log file.
+//!
+//! Program arguments: `<port> <logfile> [descriptions [templates]]`.
+//! The descriptions and templates are read from files on the filter's
+//! machine, defaulting to the standard descriptions and
+//! keep-everything rules when the files are absent (the controller
+//! installs real files; being lenient here keeps hand-rolled sessions
+//! pleasant).
+
+use crate::desc::Descriptions;
+use crate::engine::FilterEngine;
+use crate::rules::Rules;
+use dpm_simos::{BindTo, Cluster, Domain, Proc, SockType, SysError, SysResult};
+use std::sync::Arc;
+
+/// The program-registry name of the standard filter; the default
+/// `filterfile` of the `filter` command is `/bin/filter` containing
+/// `program:filter`.
+pub const FILTER_PROGRAM: &str = "filter";
+
+/// Registers the standard filter in the cluster's program registry
+/// and installs `/bin/filter` on every machine, so
+/// `addprocess`-style creation by file name works everywhere.
+pub fn register_filter_program(cluster: &Arc<Cluster>) {
+    cluster.register_program(FILTER_PROGRAM, filter_main);
+    for m in cluster.machines() {
+        let name = m.name().to_owned();
+        cluster.install_program_file(&name, "/bin/filter", FILTER_PROGRAM);
+    }
+}
+
+/// The standard filter's program body.
+///
+/// # Errors
+///
+/// `EINVAL` for missing/garbled arguments; socket errors propagate;
+/// runs until killed.
+pub fn filter_main(p: Proc, args: Vec<String>) -> SysResult<()> {
+    let port: u16 = args
+        .first()
+        .and_then(|a| a.parse().ok())
+        .ok_or(SysError::Einval)?;
+    let log_path = args.get(1).cloned().ok_or(SysError::Einval)?;
+    let desc_path = args.get(2).cloned().unwrap_or_else(|| "descriptions".to_owned());
+    let tmpl_path = args.get(3).cloned().unwrap_or_else(|| "templates".to_owned());
+
+    let desc = match p.machine().fs().read_string(&desc_path) {
+        Some(text) => Descriptions::parse(&text).map_err(|_| SysError::Einval)?,
+        None => Descriptions::standard(),
+    };
+    let rules = match p.machine().fs().read_string(&tmpl_path) {
+        Some(text) => Rules::parse(&text).map_err(|_| SysError::Einval)?,
+        None => Rules::default(),
+    };
+
+    let listener = p.socket(Domain::Inet, SockType::Stream)?;
+    p.bind(listener, BindTo::Port(port))?;
+    p.listen(listener, 32)?;
+
+    loop {
+        let (conn, _peer) = p.accept(listener)?;
+        let child_desc = desc.clone();
+        let child_rules = rules.clone();
+        let child_log = log_path.clone();
+        p.fork_with(move |c| {
+            let mut engine = FilterEngine::new(child_desc, child_rules);
+            loop {
+                let data = c.read(conn, 4096)?;
+                if data.is_empty() {
+                    break;
+                }
+                for line in engine.feed(&data) {
+                    let mut bytes = line.into_bytes();
+                    bytes.push(b'\n');
+                    c.machine().fs().append(&child_log, &bytes);
+                }
+            }
+            c.close(conn)?;
+            Ok(())
+        })?;
+        // The parent's reference to the connection is the child's now.
+        p.close(conn)?;
+    }
+}

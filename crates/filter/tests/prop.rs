@@ -1,0 +1,113 @@
+//! Property-based tests for the filter: rule parsing round-trips
+//! through display, the engine is chunking-invariant, and selection
+//! semantics hold for generated rule/record pairs.
+
+use dpm_filter::{Descriptions, FilterEngine, Rules, Verdict};
+use dpm_meter::{MeterBody, MeterHeader, MeterMsg, MeterSendMsg, SockName};
+use proptest::prelude::*;
+
+fn send_record(machine: u16, cpu: u32, pid: u32, len: u32) -> Vec<u8> {
+    MeterMsg {
+        header: MeterHeader {
+            size: 0,
+            machine,
+            cpu_time: cpu,
+            proc_time: 0,
+            trace_type: dpm_meter::trace_type::SEND,
+        },
+        body: MeterBody::Send(MeterSendMsg {
+            pid,
+            pc: 1,
+            sock: 2,
+            msg_length: len,
+            dest_name: Some(SockName::inet(1, 9)),
+        }),
+    }
+    .encode()
+}
+
+/// A generated simple condition: `field op value`.
+fn arb_rule_text() -> impl Strategy<Value = String> {
+    let field = prop_oneof![
+        Just("machine"),
+        Just("cpuTime"),
+        Just("pid"),
+        Just("sock"),
+        Just("msgLength"),
+    ];
+    let op = prop_oneof![Just("="), Just("!="), Just("<"), Just(">"), Just("<="), Just(">=")];
+    let cond = (field, op, any::<u16>()).prop_map(|(f, o, v)| format!("{f}{o}{v}"));
+    proptest::collection::vec(cond, 1..4).prop_map(|cs| cs.join(", "))
+}
+
+proptest! {
+    #[test]
+    fn parse_display_round_trip(text in arb_rule_text()) {
+        let rules = Rules::parse(&text).expect("generated rules parse");
+        let shown = rules.rules[0].to_string();
+        let reparsed = Rules::parse(&shown).expect("displayed rules parse");
+        prop_assert_eq!(&reparsed.rules[0], &rules.rules[0]);
+    }
+
+    #[test]
+    fn engine_is_chunking_invariant(
+        records in proptest::collection::vec(
+            (any::<u16>(), any::<u32>(), any::<u32>(), any::<u32>()), 1..20),
+        chunk in 1usize..64,
+    ) {
+        let mut wire = Vec::new();
+        for (m, c, p, l) in &records {
+            wire.extend_from_slice(&send_record(*m, *c, *p, *l));
+        }
+        let mut whole = FilterEngine::standard();
+        let all_at_once = whole.feed(&wire);
+        let mut split = FilterEngine::standard();
+        let mut piecewise = Vec::new();
+        for part in wire.chunks(chunk) {
+            piecewise.extend(split.feed(part));
+        }
+        prop_assert_eq!(all_at_once, piecewise);
+        prop_assert_eq!(whole.stats().kept, split.stats().kept);
+    }
+
+    #[test]
+    fn numeric_conditions_agree_with_direct_comparison(
+        machine in 0u16..10,
+        threshold in 0u32..100,
+        cpu in 0u32..100,
+    ) {
+        let rules = Rules::parse(&format!("cpuTime<{threshold}")).expect("parse");
+        let rec = send_record(machine, cpu, 1, 1);
+        let kept = matches!(rules.verdict(&Descriptions::standard(), &rec), Verdict::Keep { .. });
+        prop_assert_eq!(kept, cpu < threshold);
+    }
+
+    #[test]
+    fn wildcard_always_matches_and_discards(
+        machine in any::<u16>(),
+        cpu in any::<u32>(),
+    ) {
+        let rules = Rules::parse("machine=#*").expect("parse");
+        let rec = send_record(machine, cpu, 1, 1);
+        match rules.verdict(&Descriptions::standard(), &rec) {
+            Verdict::Keep { discard_fields } => {
+                prop_assert_eq!(discard_fields, vec!["machine".to_owned()]);
+            }
+            Verdict::Reject => prop_assert!(false, "wildcard must match"),
+        }
+    }
+
+    #[test]
+    fn prefix_pattern_matches_decimal_prefixes(pid in any::<u32>()) {
+        let rules = Rules::parse("pid=1*").expect("parse");
+        let rec = send_record(0, 0, pid, 1);
+        let kept = matches!(rules.verdict(&Descriptions::standard(), &rec), Verdict::Keep { .. });
+        prop_assert_eq!(kept, pid.to_string().starts_with('1'));
+    }
+
+    #[test]
+    fn engine_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..500)) {
+        let mut engine = FilterEngine::standard();
+        let _ = engine.feed(&bytes); // must not panic
+    }
+}

@@ -1,0 +1,994 @@
+//! Meter message wire formats — the Rust `<sys/metermsgs.h>`.
+//!
+//! Each message consists of a [`MeterHeader`], whose format is common
+//! to all messages, and data particular to the message type (Appendix
+//! A of the paper). The encodings here match the layout of the paper's
+//! C structs on a VAX: little-endian, 4-byte alignment, `long` = 4
+//! bytes, `short` = 2 bytes, `SOCKET` = 4 bytes (a file-table-entry
+//! address), `NAME` = 16 bytes (`struct sockaddr`).
+//!
+//! The paper's Appendix A declares bodies for accept, connect, dup,
+//! fork, receive-call, receive, send and socket-create events. The
+//! `M_DESTSOCKET` and `M_TERMPROC` flags exist in `<meterflags.h>` but
+//! their bodies are not listed in Appendix A; [`MeterDestSock`] and
+//! [`MeterTermProc`] supply the obvious layouts and are documented as
+//! reconstructions.
+
+use crate::name::{NameDecodeError, SockName, NAME_LEN};
+use std::fmt;
+
+/// `traceType` values identifying the event kind of a meter message.
+///
+/// `SEND` is 1, matching the event record description of Fig. 3.2
+/// (`SEND 1, ...`) and the selection-rule examples (`type=1` selects
+/// send events). `ACCEPT` is 8, matching the rule
+/// `type=8, sockName=peerName` of Fig. 3.4, which only makes sense for
+/// a record carrying both names.
+pub mod trace_type {
+    /// Process sent a message.
+    pub const SEND: u32 = 1;
+    /// Process called a receive routine (may block).
+    pub const RECEIVECALL: u32 = 2;
+    /// Process received a message.
+    pub const RECEIVE: u32 = 3;
+    /// Process created a socket.
+    pub const SOCKET: u32 = 4;
+    /// Process duplicated a socket or file descriptor.
+    pub const DUP: u32 = 5;
+    /// Process closed a socket.
+    pub const DESTSOCKET: u32 = 6;
+    /// Process forked.
+    pub const FORK: u32 = 7;
+    /// Process accepted a connection.
+    pub const ACCEPT: u32 = 8;
+    /// Process initiated a connection.
+    pub const CONNECT: u32 = 9;
+    /// Process terminated.
+    pub const TERMPROC: u32 = 10;
+
+    /// The `setflags` name of a trace type, e.g. `"send"`.
+    pub fn name(t: u32) -> Option<&'static str> {
+        Some(match t {
+            SEND => "send",
+            RECEIVECALL => "receivecall",
+            RECEIVE => "receive",
+            SOCKET => "socket",
+            DUP => "dup",
+            DESTSOCKET => "destsocket",
+            FORK => "fork",
+            ACCEPT => "accept",
+            CONNECT => "connect",
+            TERMPROC => "termproc",
+            _ => return None,
+        })
+    }
+}
+
+/// Size in bytes of the encoded [`MeterHeader`].
+pub const HEADER_LEN: usize = 24;
+
+/// The standard header carried by every meter message.
+///
+/// ```text
+/// offset  size  field
+///      0     4  size       -- total message size in bytes
+///      4     2  machine    -- machine on which process runs
+///      6     2  (padding)
+///      8     4  cpuTime    -- local clock, milliseconds
+///     12     4  dummy      -- unused
+///     16     4  procTime   -- time charged to the user process, ms
+///     20     4  traceType  -- type of message
+/// ```
+///
+/// The system clock time (`cpu_time`) is useful for establishing the
+/// order of events *on a particular machine*; the separate machines'
+/// times only roughly correspond to a global time (§4.1). `proc_time`
+/// is updated in increments of 10 ms, so estimates based on it must
+/// recognize that granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MeterHeader {
+    /// Total size of the encoded message. Filled in by
+    /// [`MeterMsg::encode`]; a caller-supplied value is overwritten.
+    pub size: u32,
+    /// Machine (host id) on which the process runs.
+    pub machine: u16,
+    /// Reading of the machine's local clock, in milliseconds.
+    pub cpu_time: u32,
+    /// CPU time charged to the user process, in milliseconds,
+    /// quantized to 10 ms.
+    pub proc_time: u32,
+    /// Event kind; one of the [`trace_type`] constants.
+    pub trace_type: u32,
+}
+
+impl MeterHeader {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.size.to_le_bytes());
+        out.extend_from_slice(&self.machine.to_le_bytes());
+        out.extend_from_slice(&0u16.to_le_bytes()); // padding
+        out.extend_from_slice(&self.cpu_time.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // dummy
+        out.extend_from_slice(&self.proc_time.to_le_bytes());
+        out.extend_from_slice(&self.trace_type.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Result<MeterHeader, DecodeError> {
+        if buf.len() < HEADER_LEN {
+            return Err(DecodeError::Truncated {
+                need: HEADER_LEN,
+                have: buf.len(),
+            });
+        }
+        Ok(MeterHeader {
+            size: read_u32(buf, 0),
+            machine: u16::from_le_bytes([buf[4], buf[5]]),
+            cpu_time: read_u32(buf, 8),
+            proc_time: read_u32(buf, 16),
+            trace_type: read_u32(buf, 20),
+        })
+    }
+}
+
+fn read_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Writes an optional name as a `nameLen` field. Length zero means the
+/// name was not available to the metering software (§4.1), e.g. the
+/// recipient of a `write` across a connection.
+fn encode_opt_name_len(name: &Option<SockName>, out: &mut Vec<u8>) {
+    out.extend_from_slice(&name.as_ref().map_or(0, SockName::wire_len).to_le_bytes());
+}
+
+fn encode_opt_name(name: &Option<SockName>, out: &mut Vec<u8>) {
+    match name {
+        Some(n) => out.extend_from_slice(&n.encode()),
+        None => out.extend_from_slice(&[0u8; NAME_LEN]),
+    }
+}
+
+fn decode_opt_name(buf: &[u8], len_field: u32) -> Result<Option<SockName>, DecodeError> {
+    if len_field == 0 {
+        return Ok(None);
+    }
+    Ok(Some(SockName::decode(buf)?))
+}
+
+/// `struct MeterSendMsg`: a message was sent (trace type
+/// [`trace_type::SEND`]). All the varieties of `write()` — `write`,
+/// `writev`, `send`, `sendto`, `sendmsg` — produce this one event
+/// (§3.2).
+///
+/// Body layout: `pid@0 pc@4 sock@8 msgLength@12 destNameLen@16
+/// destName@20(16 bytes)`, exactly the description of Fig. 3.2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MeterSendMsg {
+    /// Process ID.
+    pub pid: u32,
+    /// PC at the time of the system call.
+    pub pc: u32,
+    /// Socket (file-table-entry address) where the message was sent.
+    pub sock: u32,
+    /// Bytes in the message.
+    pub msg_length: u32,
+    /// Destination name, when available. `None` when writing across a
+    /// connection, where the recipient's name is not available to the
+    /// metering software; the analysis recovers it by pairing sockets.
+    pub dest_name: Option<SockName>,
+}
+
+/// `struct MeterRecvCMsg`: a receive routine was called (trace type
+/// [`trace_type::RECEIVECALL`]). Emitted when the process *asks* to
+/// receive, before it possibly blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeterRecvCall {
+    /// Process ID.
+    pub pid: u32,
+    /// PC at the time of the system call.
+    pub pc: u32,
+    /// Socket receiving the message.
+    pub sock: u32,
+}
+
+/// `struct MeterRecvMsg`: a message was received (trace type
+/// [`trace_type::RECEIVE`]). All the varieties of `read()` — `read`,
+/// `readv`, `recv`, `recvfrom`, `recvmsg` — produce this one event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MeterRecvMsg {
+    /// Process ID.
+    pub pid: u32,
+    /// PC at the time of the system call.
+    pub pc: u32,
+    /// Socket receiving the message.
+    pub sock: u32,
+    /// Bytes in the message actually delivered.
+    pub msg_length: u32,
+    /// Name of the socket the message came from, when available.
+    pub source_name: Option<SockName>,
+}
+
+/// `struct MeterAccept`: a connection was accepted (trace type
+/// [`trace_type::ACCEPT`]). The accepting process's original socket is
+/// only used for the establishment of connections; data transfer is
+/// done through the new connection socket (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MeterAccept {
+    /// Process ID.
+    pub pid: u32,
+    /// PC at the time of the system call.
+    pub pc: u32,
+    /// Socket accepting the connection.
+    pub sock: u32,
+    /// New socket created for the connection.
+    pub new_sock: u32,
+    /// Name bound to the accepting socket.
+    pub sock_name: Option<SockName>,
+    /// Name bound to the connecting socket.
+    pub peer_name: Option<SockName>,
+}
+
+/// `struct MeterConnect`: a connection was initiated (trace type
+/// [`trace_type::CONNECT`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MeterConnect {
+    /// Process ID.
+    pub pid: u32,
+    /// PC at the time of the system call.
+    pub pc: u32,
+    /// Socket requesting the connection.
+    pub sock: u32,
+    /// Name bound to the connecting socket.
+    pub sock_name: Option<SockName>,
+    /// Name bound to the accepting socket.
+    pub peer_name: Option<SockName>,
+}
+
+/// `struct MeterDup`: a socket or file descriptor was duplicated
+/// (trace type [`trace_type::DUP`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeterDup {
+    /// Process ID.
+    pub pid: u32,
+    /// PC at the time of the system call.
+    pub pc: u32,
+    /// Socket being duplicated.
+    pub sock: u32,
+    /// Duplicate socket.
+    pub new_sock: u32,
+}
+
+/// `struct MeterFork`: the process forked (trace type
+/// [`trace_type::FORK`]). The child inherits the parent's meter socket
+/// and meter flags (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeterFork {
+    /// Parent process's ID.
+    pub pid: u32,
+    /// PC at the time of the system call.
+    pub pc: u32,
+    /// Child process's ID.
+    pub new_pid: u32,
+}
+
+/// `struct MeterSockCrt`: a socket was created (trace type
+/// [`trace_type::SOCKET`]). A `socketpair()` is not treated differently
+/// from a pair of socket creates followed by separate connects and
+/// accepts; all four messages are produced (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeterSockCrt {
+    /// Process ID.
+    pub pid: u32,
+    /// PC at the time of the system call.
+    pub pc: u32,
+    /// File-table entry of the new socket.
+    pub sock: u32,
+    /// New socket's domain (1 = UNIX, 2 = Internet, as in 4.2BSD).
+    pub domain: u32,
+    /// New socket's type (1 = stream, 2 = datagram, as in 4.2BSD).
+    pub sock_type: u32,
+    /// New socket's protocol (0 = default).
+    pub protocol: u32,
+}
+
+/// Destroy-socket event (trace type [`trace_type::DESTSOCKET`]).
+///
+/// The `M_DESTSOCKET` flag is listed in `<meterflags.h>` ("process
+/// closes a socket") but Appendix A does not show its body; this is the
+/// evident reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeterDestSock {
+    /// Process ID.
+    pub pid: u32,
+    /// PC at the time of the system call.
+    pub pc: u32,
+    /// Socket being closed.
+    pub sock: u32,
+}
+
+/// Why a process terminated, carried in [`MeterTermProc`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TermReason {
+    /// The process's program ran to completion ("reason: normal" in
+    /// the Appendix-B transcript).
+    #[default]
+    Normal,
+    /// The process was killed by the controller or a signal.
+    Killed,
+}
+
+impl fmt::Display for TermReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TermReason::Normal => "normal",
+            TermReason::Killed => "killed",
+        })
+    }
+}
+
+/// Process-termination event (trace type [`trace_type::TERMPROC`]).
+///
+/// As part of process termination, any unsent meter messages are
+/// forwarded to the filter (§3.2); this record is the last one a
+/// process produces. Reconstructed like [`MeterDestSock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MeterTermProc {
+    /// Process ID.
+    pub pid: u32,
+    /// PC at the time of termination.
+    pub pc: u32,
+    /// Why the process terminated.
+    pub reason: TermReason,
+}
+
+/// The body of a meter message: `union` of the per-event structs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MeterBody {
+    /// See [`MeterAccept`].
+    Accept(MeterAccept),
+    /// See [`MeterConnect`].
+    Connect(MeterConnect),
+    /// See [`MeterDup`].
+    Dup(MeterDup),
+    /// See [`MeterFork`].
+    Fork(MeterFork),
+    /// See [`MeterRecvCall`].
+    RecvCall(MeterRecvCall),
+    /// See [`MeterRecvMsg`].
+    Recv(MeterRecvMsg),
+    /// See [`MeterSendMsg`].
+    Send(MeterSendMsg),
+    /// See [`MeterSockCrt`].
+    SockCrt(MeterSockCrt),
+    /// See [`MeterDestSock`].
+    DestSock(MeterDestSock),
+    /// See [`MeterTermProc`].
+    TermProc(MeterTermProc),
+}
+
+impl MeterBody {
+    /// The [`trace_type`] constant for this body.
+    pub fn trace_type(&self) -> u32 {
+        match self {
+            MeterBody::Send(_) => trace_type::SEND,
+            MeterBody::RecvCall(_) => trace_type::RECEIVECALL,
+            MeterBody::Recv(_) => trace_type::RECEIVE,
+            MeterBody::SockCrt(_) => trace_type::SOCKET,
+            MeterBody::Dup(_) => trace_type::DUP,
+            MeterBody::DestSock(_) => trace_type::DESTSOCKET,
+            MeterBody::Fork(_) => trace_type::FORK,
+            MeterBody::Accept(_) => trace_type::ACCEPT,
+            MeterBody::Connect(_) => trace_type::CONNECT,
+            MeterBody::TermProc(_) => trace_type::TERMPROC,
+        }
+    }
+
+    /// The process id common to every body.
+    pub fn pid(&self) -> u32 {
+        match self {
+            MeterBody::Send(b) => b.pid,
+            MeterBody::RecvCall(b) => b.pid,
+            MeterBody::Recv(b) => b.pid,
+            MeterBody::SockCrt(b) => b.pid,
+            MeterBody::Dup(b) => b.pid,
+            MeterBody::DestSock(b) => b.pid,
+            MeterBody::Fork(b) => b.pid,
+            MeterBody::Accept(b) => b.pid,
+            MeterBody::Connect(b) => b.pid,
+            MeterBody::TermProc(b) => b.pid,
+        }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            MeterBody::Send(b) => {
+                out.extend_from_slice(&b.pid.to_le_bytes());
+                out.extend_from_slice(&b.pc.to_le_bytes());
+                out.extend_from_slice(&b.sock.to_le_bytes());
+                out.extend_from_slice(&b.msg_length.to_le_bytes());
+                encode_opt_name_len(&b.dest_name, out);
+                encode_opt_name(&b.dest_name, out);
+            }
+            MeterBody::RecvCall(b) => {
+                out.extend_from_slice(&b.pid.to_le_bytes());
+                out.extend_from_slice(&b.pc.to_le_bytes());
+                out.extend_from_slice(&b.sock.to_le_bytes());
+            }
+            MeterBody::Recv(b) => {
+                out.extend_from_slice(&b.pid.to_le_bytes());
+                out.extend_from_slice(&b.pc.to_le_bytes());
+                out.extend_from_slice(&b.sock.to_le_bytes());
+                out.extend_from_slice(&b.msg_length.to_le_bytes());
+                encode_opt_name_len(&b.source_name, out);
+                encode_opt_name(&b.source_name, out);
+            }
+            MeterBody::SockCrt(b) => {
+                out.extend_from_slice(&b.pid.to_le_bytes());
+                out.extend_from_slice(&b.pc.to_le_bytes());
+                out.extend_from_slice(&b.sock.to_le_bytes());
+                out.extend_from_slice(&b.domain.to_le_bytes());
+                out.extend_from_slice(&b.sock_type.to_le_bytes());
+                out.extend_from_slice(&b.protocol.to_le_bytes());
+            }
+            MeterBody::Dup(b) => {
+                out.extend_from_slice(&b.pid.to_le_bytes());
+                out.extend_from_slice(&b.pc.to_le_bytes());
+                out.extend_from_slice(&b.sock.to_le_bytes());
+                out.extend_from_slice(&b.new_sock.to_le_bytes());
+            }
+            MeterBody::DestSock(b) => {
+                out.extend_from_slice(&b.pid.to_le_bytes());
+                out.extend_from_slice(&b.pc.to_le_bytes());
+                out.extend_from_slice(&b.sock.to_le_bytes());
+            }
+            MeterBody::Fork(b) => {
+                out.extend_from_slice(&b.pid.to_le_bytes());
+                out.extend_from_slice(&b.pc.to_le_bytes());
+                out.extend_from_slice(&b.new_pid.to_le_bytes());
+            }
+            MeterBody::Accept(b) => {
+                out.extend_from_slice(&b.pid.to_le_bytes());
+                out.extend_from_slice(&b.pc.to_le_bytes());
+                out.extend_from_slice(&b.sock.to_le_bytes());
+                out.extend_from_slice(&b.new_sock.to_le_bytes());
+                encode_opt_name_len(&b.sock_name, out);
+                encode_opt_name_len(&b.peer_name, out);
+                encode_opt_name(&b.sock_name, out);
+                encode_opt_name(&b.peer_name, out);
+            }
+            MeterBody::Connect(b) => {
+                out.extend_from_slice(&b.pid.to_le_bytes());
+                out.extend_from_slice(&b.pc.to_le_bytes());
+                out.extend_from_slice(&b.sock.to_le_bytes());
+                encode_opt_name_len(&b.sock_name, out);
+                encode_opt_name_len(&b.peer_name, out);
+                encode_opt_name(&b.sock_name, out);
+                encode_opt_name(&b.peer_name, out);
+            }
+            MeterBody::TermProc(b) => {
+                out.extend_from_slice(&b.pid.to_le_bytes());
+                out.extend_from_slice(&b.pc.to_le_bytes());
+                let reason: u32 = match b.reason {
+                    TermReason::Normal => 0,
+                    TermReason::Killed => 1,
+                };
+                out.extend_from_slice(&reason.to_le_bytes());
+            }
+        }
+    }
+
+    fn decode(trace: u32, buf: &[u8]) -> Result<MeterBody, DecodeError> {
+        let need = |n: usize| -> Result<(), DecodeError> {
+            if buf.len() < n {
+                Err(DecodeError::Truncated {
+                    need: n + HEADER_LEN,
+                    have: buf.len() + HEADER_LEN,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        match trace {
+            trace_type::SEND => {
+                need(20 + NAME_LEN)?;
+                let len = read_u32(buf, 16);
+                Ok(MeterBody::Send(MeterSendMsg {
+                    pid: read_u32(buf, 0),
+                    pc: read_u32(buf, 4),
+                    sock: read_u32(buf, 8),
+                    msg_length: read_u32(buf, 12),
+                    dest_name: decode_opt_name(&buf[20..], len)?,
+                }))
+            }
+            trace_type::RECEIVECALL => {
+                need(12)?;
+                Ok(MeterBody::RecvCall(MeterRecvCall {
+                    pid: read_u32(buf, 0),
+                    pc: read_u32(buf, 4),
+                    sock: read_u32(buf, 8),
+                }))
+            }
+            trace_type::RECEIVE => {
+                need(20 + NAME_LEN)?;
+                let len = read_u32(buf, 16);
+                Ok(MeterBody::Recv(MeterRecvMsg {
+                    pid: read_u32(buf, 0),
+                    pc: read_u32(buf, 4),
+                    sock: read_u32(buf, 8),
+                    msg_length: read_u32(buf, 12),
+                    source_name: decode_opt_name(&buf[20..], len)?,
+                }))
+            }
+            trace_type::SOCKET => {
+                need(24)?;
+                Ok(MeterBody::SockCrt(MeterSockCrt {
+                    pid: read_u32(buf, 0),
+                    pc: read_u32(buf, 4),
+                    sock: read_u32(buf, 8),
+                    domain: read_u32(buf, 12),
+                    sock_type: read_u32(buf, 16),
+                    protocol: read_u32(buf, 20),
+                }))
+            }
+            trace_type::DUP => {
+                need(16)?;
+                Ok(MeterBody::Dup(MeterDup {
+                    pid: read_u32(buf, 0),
+                    pc: read_u32(buf, 4),
+                    sock: read_u32(buf, 8),
+                    new_sock: read_u32(buf, 12),
+                }))
+            }
+            trace_type::DESTSOCKET => {
+                need(12)?;
+                Ok(MeterBody::DestSock(MeterDestSock {
+                    pid: read_u32(buf, 0),
+                    pc: read_u32(buf, 4),
+                    sock: read_u32(buf, 8),
+                }))
+            }
+            trace_type::FORK => {
+                need(12)?;
+                Ok(MeterBody::Fork(MeterFork {
+                    pid: read_u32(buf, 0),
+                    pc: read_u32(buf, 4),
+                    new_pid: read_u32(buf, 8),
+                }))
+            }
+            trace_type::ACCEPT => {
+                need(24 + 2 * NAME_LEN)?;
+                let sock_len = read_u32(buf, 16);
+                let peer_len = read_u32(buf, 20);
+                Ok(MeterBody::Accept(MeterAccept {
+                    pid: read_u32(buf, 0),
+                    pc: read_u32(buf, 4),
+                    sock: read_u32(buf, 8),
+                    new_sock: read_u32(buf, 12),
+                    sock_name: decode_opt_name(&buf[24..], sock_len)?,
+                    peer_name: decode_opt_name(&buf[24 + NAME_LEN..], peer_len)?,
+                }))
+            }
+            trace_type::CONNECT => {
+                need(20 + 2 * NAME_LEN)?;
+                let sock_len = read_u32(buf, 12);
+                let peer_len = read_u32(buf, 16);
+                Ok(MeterBody::Connect(MeterConnect {
+                    pid: read_u32(buf, 0),
+                    pc: read_u32(buf, 4),
+                    sock: read_u32(buf, 8),
+                    sock_name: decode_opt_name(&buf[20..], sock_len)?,
+                    peer_name: decode_opt_name(&buf[20 + NAME_LEN..], peer_len)?,
+                }))
+            }
+            trace_type::TERMPROC => {
+                need(12)?;
+                Ok(MeterBody::TermProc(MeterTermProc {
+                    pid: read_u32(buf, 0),
+                    pc: read_u32(buf, 4),
+                    reason: match read_u32(buf, 8) {
+                        0 => TermReason::Normal,
+                        _ => TermReason::Killed,
+                    },
+                }))
+            }
+            other => Err(DecodeError::UnknownTraceType { trace_type: other }),
+        }
+    }
+}
+
+/// A complete meter message: standard header plus event body.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MeterMsg {
+    /// The standard header.
+    pub header: MeterHeader,
+    /// The per-event body. Its kind must agree with
+    /// `header.trace_type`; [`MeterMsg::encode`] enforces this by
+    /// writing the body's own trace type.
+    pub body: MeterBody,
+}
+
+impl MeterMsg {
+    /// Encodes into the on-wire byte layout of Appendix A.
+    ///
+    /// The header's `size` and `trace_type` fields are derived from
+    /// the body, so the caller need not keep them in sync.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + 56);
+        let mut header = self.header;
+        header.trace_type = self.body.trace_type();
+        header.encode_into(&mut out);
+        self.body.encode_into(&mut out);
+        let size = out.len() as u32;
+        out[0..4].copy_from_slice(&size.to_le_bytes());
+        out
+    }
+
+    /// Appends the encoding to `out` and returns the encoded length.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> usize {
+        let bytes = self.encode();
+        out.extend_from_slice(&bytes);
+        bytes.len()
+    }
+
+    /// Decodes one message from the front of `buf`, returning the
+    /// message and the number of bytes consumed (the header's `size`).
+    ///
+    /// Meter connections are streams, so several buffered messages
+    /// arrive concatenated; call this repeatedly, advancing by the
+    /// returned length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the buffer does not hold a complete
+    /// message, the trace type is unknown, or a name field is
+    /// malformed.
+    pub fn decode(buf: &[u8]) -> Result<(MeterMsg, usize), DecodeError> {
+        let mut header = MeterHeader::decode(buf)?;
+        let size = header.size as usize;
+        if size < HEADER_LEN {
+            return Err(DecodeError::BadSize { size: header.size });
+        }
+        if buf.len() < size {
+            return Err(DecodeError::Truncated {
+                need: size,
+                have: buf.len(),
+            });
+        }
+        let body = MeterBody::decode(header.trace_type, &buf[HEADER_LEN..size])?;
+        // Normalize: the struct's `size` always reflects the encoding.
+        header.size = size as u32;
+        Ok((MeterMsg { header, body }, size))
+    }
+
+    /// Decodes a whole buffer of concatenated messages.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed message; previously decoded
+    /// messages are discarded.
+    pub fn decode_all(mut buf: &[u8]) -> Result<Vec<MeterMsg>, DecodeError> {
+        let mut out = Vec::new();
+        while !buf.is_empty() {
+            let (msg, used) = MeterMsg::decode(buf)?;
+            out.push(msg);
+            buf = &buf[used..];
+        }
+        Ok(out)
+    }
+}
+
+/// Error decoding a meter message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer holds fewer bytes than the message needs.
+    Truncated {
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// The header's size field is smaller than a header.
+    BadSize {
+        /// The offending size.
+        size: u32,
+    },
+    /// The header's trace type is not one of [`trace_type`]'s values.
+    UnknownTraceType {
+        /// The offending value.
+        trace_type: u32,
+    },
+    /// A socket name field could not be decoded.
+    BadName(NameDecodeError),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { need, have } => {
+                write!(f, "meter message truncated: need {need} bytes, have {have}")
+            }
+            DecodeError::BadSize { size } => write!(f, "meter message size {size} is too small"),
+            DecodeError::UnknownTraceType { trace_type } => {
+                write!(f, "unknown trace type {trace_type}")
+            }
+            DecodeError::BadName(e) => write!(f, "bad socket name: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DecodeError::BadName(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NameDecodeError> for DecodeError {
+    fn from(e: NameDecodeError) -> DecodeError {
+        DecodeError::BadName(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header(trace: u32) -> MeterHeader {
+        MeterHeader {
+            size: 0,
+            machine: 5,
+            cpu_time: 9_999,
+            proc_time: 40,
+            trace_type: trace,
+        }
+    }
+
+    fn round_trip(body: MeterBody) -> MeterMsg {
+        let msg = MeterMsg {
+            header: header(body.trace_type()),
+            body,
+        };
+        let bytes = msg.encode();
+        let (back, used) = MeterMsg::decode(&bytes).expect("decode");
+        assert_eq!(used, bytes.len());
+        assert_eq!(back.body, msg.body);
+        assert_eq!(back.header.machine, msg.header.machine);
+        assert_eq!(back.header.cpu_time, msg.header.cpu_time);
+        assert_eq!(back.header.proc_time, msg.header.proc_time);
+        assert_eq!(back.header.trace_type, msg.body.trace_type());
+        back
+    }
+
+    #[test]
+    fn send_round_trip_with_and_without_name() {
+        round_trip(MeterBody::Send(MeterSendMsg {
+            pid: 2120,
+            pc: 0x452,
+            sock: 4,
+            msg_length: 128,
+            dest_name: Some(SockName::inet(0, 228)),
+        }));
+        round_trip(MeterBody::Send(MeterSendMsg {
+            pid: 2120,
+            pc: 0x452,
+            sock: 4,
+            msg_length: 128,
+            dest_name: None,
+        }));
+    }
+
+    #[test]
+    fn every_body_round_trips() {
+        let name = || Some(SockName::unix("/tmp/f1"));
+        round_trip(MeterBody::RecvCall(MeterRecvCall {
+            pid: 1,
+            pc: 2,
+            sock: 3,
+        }));
+        round_trip(MeterBody::Recv(MeterRecvMsg {
+            pid: 1,
+            pc: 2,
+            sock: 3,
+            msg_length: 4,
+            source_name: name(),
+        }));
+        round_trip(MeterBody::SockCrt(MeterSockCrt {
+            pid: 1,
+            pc: 2,
+            sock: 3,
+            domain: 2,
+            sock_type: 1,
+            protocol: 0,
+        }));
+        round_trip(MeterBody::Dup(MeterDup {
+            pid: 1,
+            pc: 2,
+            sock: 3,
+            new_sock: 4,
+        }));
+        round_trip(MeterBody::DestSock(MeterDestSock {
+            pid: 1,
+            pc: 2,
+            sock: 3,
+        }));
+        round_trip(MeterBody::Fork(MeterFork {
+            pid: 1,
+            pc: 2,
+            new_pid: 99,
+        }));
+        round_trip(MeterBody::Accept(MeterAccept {
+            pid: 1,
+            pc: 2,
+            sock: 3,
+            new_sock: 4,
+            sock_name: name(),
+            peer_name: Some(SockName::inet(7, 9)),
+        }));
+        round_trip(MeterBody::Connect(MeterConnect {
+            pid: 1,
+            pc: 2,
+            sock: 3,
+            sock_name: Some(SockName::Internal(12)),
+            peer_name: name(),
+        }));
+        round_trip(MeterBody::TermProc(MeterTermProc {
+            pid: 1,
+            pc: 2,
+            reason: TermReason::Killed,
+        }));
+    }
+
+    /// Golden test for Fig. 3.2 / Appendix A: the send event's fields
+    /// sit at the documented byte offsets *within the body*:
+    /// `pid,0,4  pc,4,4  sock,8,4  msgLength,12,4  destNameLen,16,4
+    /// destName,20,16`.
+    #[test]
+    fn send_field_offsets_match_figure_3_2() {
+        let msg = MeterMsg {
+            header: header(trace_type::SEND),
+            body: MeterBody::Send(MeterSendMsg {
+                pid: 0x11111111,
+                pc: 0x22222222,
+                sock: 0x33333333,
+                msg_length: 0x44444444,
+                dest_name: Some(SockName::inet(0x0d9d_020c, 0x0102)),
+            }),
+        };
+        let b = msg.encode();
+        let body = &b[HEADER_LEN..];
+        assert_eq!(read_u32(body, 0), 0x11111111, "pid at offset 0");
+        assert_eq!(read_u32(body, 4), 0x22222222, "pc at offset 4");
+        assert_eq!(read_u32(body, 8), 0x33333333, "sock at offset 8");
+        assert_eq!(read_u32(body, 12), 0x44444444, "msgLength at offset 12");
+        assert_eq!(read_u32(body, 16), 8, "destNameLen at offset 16");
+        assert_eq!(body.len(), 20 + NAME_LEN, "destName is the last 16 bytes");
+        // Total message size: 24-byte header + 36-byte body.
+        assert_eq!(b.len(), 60);
+        assert_eq!(read_u32(&b, 0), 60, "header size field");
+    }
+
+    /// Golden test for Fig. 4.1: the accept message layout.
+    #[test]
+    fn accept_layout_matches_figure_4_1() {
+        let msg = MeterMsg {
+            header: header(trace_type::ACCEPT),
+            body: MeterBody::Accept(MeterAccept {
+                pid: 10,
+                pc: 20,
+                sock: 30,
+                new_sock: 40,
+                sock_name: Some(SockName::inet(1, 2)),
+                peer_name: Some(SockName::inet(3, 4)),
+            }),
+        };
+        let b = msg.encode();
+        // header: size, machine, cpuTime, procTime, traceType
+        assert_eq!(read_u32(&b, 0) as usize, b.len());
+        assert_eq!(u16::from_le_bytes([b[4], b[5]]), 5);
+        assert_eq!(read_u32(&b, 8), 9_999);
+        assert_eq!(read_u32(&b, 16), 40);
+        assert_eq!(read_u32(&b, 20), trace_type::ACCEPT);
+        let body = &b[HEADER_LEN..];
+        assert_eq!(read_u32(body, 0), 10, "pid");
+        assert_eq!(read_u32(body, 4), 20, "pc");
+        assert_eq!(read_u32(body, 8), 30, "socket accepting connection");
+        assert_eq!(read_u32(body, 12), 40, "new socket created for connection");
+        assert_eq!(read_u32(body, 16), 8, "sockNameLen");
+        assert_eq!(read_u32(body, 20), 8, "peerNameLen");
+        assert_eq!(body.len(), 24 + 2 * NAME_LEN);
+    }
+
+    #[test]
+    fn header_is_24_bytes_with_dummy() {
+        let msg = MeterMsg {
+            header: header(trace_type::FORK),
+            body: MeterBody::Fork(MeterFork {
+                pid: 1,
+                pc: 2,
+                new_pid: 3,
+            }),
+        };
+        let b = msg.encode();
+        assert_eq!(b.len(), HEADER_LEN + 12);
+        // dummy field (offset 12) is always zero on the wire.
+        assert_eq!(read_u32(&b, 12), 0);
+    }
+
+    #[test]
+    fn decode_all_concatenated_stream() {
+        let mut buf = Vec::new();
+        let msgs: Vec<MeterMsg> = (0..5)
+            .map(|i| MeterMsg {
+                header: header(trace_type::FORK),
+                body: MeterBody::Fork(MeterFork {
+                    pid: i,
+                    pc: 0,
+                    new_pid: i + 100,
+                }),
+            })
+            .collect();
+        for m in &msgs {
+            m.encode_into(&mut buf);
+        }
+        let decoded = MeterMsg::decode_all(&buf).unwrap();
+        assert_eq!(decoded.len(), 5);
+        for (d, m) in decoded.iter().zip(&msgs) {
+            assert_eq!(d.body, m.body);
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_error() {
+        let msg = MeterMsg {
+            header: header(trace_type::SEND),
+            body: MeterBody::Send(MeterSendMsg {
+                pid: 1,
+                pc: 2,
+                sock: 3,
+                msg_length: 4,
+                dest_name: None,
+            }),
+        };
+        let b = msg.encode();
+        assert!(matches!(
+            MeterMsg::decode(&b[..10]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        assert!(matches!(
+            MeterMsg::decode(&b[..b.len() - 1]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        let mut bad = b.clone();
+        bad[20..24].copy_from_slice(&77u32.to_le_bytes());
+        assert!(matches!(
+            MeterMsg::decode(&bad),
+            Err(DecodeError::UnknownTraceType { trace_type: 77 })
+        ));
+        let mut tiny = b;
+        tiny[0..4].copy_from_slice(&3u32.to_le_bytes());
+        assert!(matches!(
+            MeterMsg::decode(&tiny),
+            Err(DecodeError::BadSize { size: 3 })
+        ));
+    }
+
+    #[test]
+    fn trace_type_names() {
+        assert_eq!(trace_type::name(trace_type::SEND), Some("send"));
+        assert_eq!(trace_type::name(trace_type::ACCEPT), Some("accept"));
+        assert_eq!(trace_type::name(1234), None);
+    }
+
+    #[test]
+    fn body_pid_accessor() {
+        let b = MeterBody::Dup(MeterDup {
+            pid: 42,
+            pc: 0,
+            sock: 1,
+            new_sock: 2,
+        });
+        assert_eq!(b.pid(), 42);
+        assert_eq!(b.trace_type(), trace_type::DUP);
+    }
+}

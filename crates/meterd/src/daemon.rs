@@ -1,0 +1,502 @@
+//! The meterdaemon.
+//!
+//! "To provide process control across machine boundaries, we use
+//! daemon processes executing on each machine. … There must be a
+//! meterdaemon on each machine that supports the measurement system.
+//! The sole purpose of the meterdaemons is to carry out control
+//! functions for the controller." (§3.5.1)
+//!
+//! The exchange is an RPC over a *temporary* stream connection: "the
+//! stream connection between the controller and a meterdaemon exists
+//! for the duration of a single exchange of messages" (§3.5.1). The
+//! one exception is process-termination reporting, where the daemon
+//! initiates the connection to the controller.
+
+use crate::proto::{frame_len, status, Reply, Request};
+use dpm_meter::{MeterFlags, TermReason};
+use dpm_simos::{
+    BindTo, Cluster, Domain, Fd, FlagSel, Pid, PidSel, Proc, Sig, SockSel, SockType, SysError,
+    SysResult, Uid,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The well-known port every meterdaemon listens on.
+pub const METERD_PORT: u16 = 571;
+
+/// The program-registry name of the meterdaemon.
+pub const METERD_PROGRAM: &str = "meterd";
+
+/// Reads exactly `n` bytes from a stream descriptor; `None` at EOF.
+///
+/// # Errors
+///
+/// Propagates any read error.
+pub fn read_exact(p: &Proc, fd: Fd, n: usize) -> SysResult<Option<Vec<u8>>> {
+    let mut buf = Vec::with_capacity(n);
+    while buf.len() < n {
+        let chunk = p.read(fd, n - buf.len())?;
+        if chunk.is_empty() {
+            return Ok(None);
+        }
+        buf.extend_from_slice(&chunk);
+    }
+    Ok(Some(buf))
+}
+
+/// Reads one length-prefixed protocol frame; `None` at EOF.
+///
+/// # Errors
+///
+/// `EINVAL` on a malformed length; read errors propagate.
+pub fn read_frame(p: &Proc, fd: Fd) -> SysResult<Option<Vec<u8>>> {
+    let Some(prefix) = read_exact(p, fd, 4)? else {
+        return Ok(None);
+    };
+    let total = frame_len(&prefix).ok_or(SysError::Einval)?;
+    if !(8..=16 * 1024 * 1024).contains(&total) {
+        return Err(SysError::Einval);
+    }
+    let Some(rest) = read_exact(p, fd, total - 4)? else {
+        return Ok(None);
+    };
+    let mut out = prefix;
+    out.extend_from_slice(&rest);
+    Ok(Some(out))
+}
+
+/// Performs one controller-side RPC: temporary connection, one
+/// request, one reply, close (§3.5.1).
+///
+/// # Errors
+///
+/// Connection errors propagate; a garbled reply is `EINVAL`.
+pub fn rpc_call(p: &Proc, host: &str, req: &Request) -> SysResult<Reply> {
+    let s = p.socket(Domain::Inet, SockType::Stream)?;
+    let result = (|| {
+        p.connect_host(s, host, METERD_PORT)?;
+        p.write(s, &req.encode())?;
+        let frame = read_frame(p, s)?.ok_or(SysError::Epipe)?;
+        Reply::decode(&frame).map_err(|_| SysError::Einval)
+    })();
+    let _ = p.close(s);
+    result
+}
+
+/// Sends a one-way notification (state change, I/O data) to a
+/// controller's notification socket.
+///
+/// # Errors
+///
+/// Connection errors propagate.
+pub fn notify(p: &Proc, host: &str, port: u16, req: &Request) -> SysResult<()> {
+    let s = p.socket(Domain::Inet, SockType::Stream)?;
+    let result = (|| {
+        p.connect_host(s, host, port)?;
+        p.write(s, &req.encode())?;
+        Ok(())
+    })();
+    let _ = p.close(s);
+    result
+}
+
+/// What the daemon remembers about each process it created.
+#[derive(Debug, Clone)]
+struct ProcInfo {
+    control_host: String,
+    control_port: u16,
+    /// The daemon's end of the stdio gateway socketpair, when the
+    /// process's I/O was redirected.
+    stdin_fd: Option<Fd>,
+}
+
+/// Registers the meterdaemon program and starts one daemon (as root)
+/// on every machine of the cluster — the paper's requirement that
+/// "there must be a meterdaemon on each machine".
+pub fn start_meterdaemons(cluster: &Arc<Cluster>) -> Vec<Pid> {
+    cluster.register_program(METERD_PROGRAM, meterd_main);
+    let mut pids = Vec::new();
+    for m in cluster.machines() {
+        cluster.install_program_file(m.name(), "/etc/meterd", METERD_PROGRAM);
+        pids.push(m.spawn_fn(METERD_PROGRAM, Uid::ROOT, None, true, |p| {
+            meterd_main(p, Vec::new())
+        }));
+    }
+    pids
+}
+
+/// The meterdaemon program body. Runs until killed.
+///
+/// # Errors
+///
+/// Fatal setup errors (cannot bind the well-known port) propagate;
+/// per-request errors are turned into error replies.
+pub fn meterd_main(p: Proc, _args: Vec<String>) -> SysResult<()> {
+    let listener = p.socket(Domain::Inet, SockType::Stream)?;
+    p.bind(listener, BindTo::Port(METERD_PORT))?;
+    p.listen(listener, 16)?;
+
+    let procs: Arc<Mutex<HashMap<Pid, ProcInfo>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    // The SIGCHLD handler: "when a process changes state (stops or
+    // terminates), a signal handling procedure in the meterdaemon is
+    // activated. Upon receiving such a notification, the meterdaemon
+    // requests a connection to the controller responsible for the
+    // terminating process, and then sends the information about the
+    // change of state to this controller." (§3.5.1)
+    {
+        let watcher = p.clone();
+        let procs = procs.clone();
+        std::thread::spawn(move || loop {
+            match watcher.wait_child() {
+                Ok((pid, reason)) => {
+                    let info = procs.lock().get(&pid).cloned();
+                    if let Some(info) = info {
+                        let state = match reason {
+                            TermReason::Normal => 0,
+                            TermReason::Killed => 1,
+                        };
+                        let _ = notify(
+                            &watcher,
+                            &info.control_host,
+                            info.control_port,
+                            &Request::StateChange { pid, state },
+                        );
+                        procs.lock().remove(&pid);
+                    }
+                }
+                Err(SysError::Esrch) => {
+                    // No children right now; the daemon may get some
+                    // later, or may itself be gone.
+                    if watcher.machine().proc_state(watcher.pid()).map(|s| s.is_dead()) != Some(false) {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        });
+    }
+
+    loop {
+        let (conn, _who) = p.accept(listener)?;
+        let outcome = serve_one(&p, conn, &procs);
+        let _ = p.close(conn);
+        // Individual request failures must not kill the daemon, but a
+        // kill signal must.
+        if let Err(SysError::Killed) = outcome {
+            return Err(SysError::Killed);
+        }
+    }
+}
+
+/// Handles one temporary connection: one request, one reply.
+fn serve_one(p: &Proc, conn: Fd, procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>) -> SysResult<()> {
+    let Some(frame) = read_frame(p, conn)? else {
+        return Ok(());
+    };
+    let req = match Request::decode(&frame) {
+        Ok(r) => r,
+        Err(_e) => {
+            let _ = p.write(conn, &Reply::Ack { status: status::FAIL }.encode());
+            return Ok(());
+        }
+    };
+    let reply = handle(p, procs, req)?;
+    if let Some(reply) = reply {
+        p.write(conn, &reply.encode())?;
+    }
+    Ok(())
+}
+
+fn sys_status(e: &SysError) -> u32 {
+    match e {
+        SysError::Enoent => status::NOENT,
+        SysError::Esrch => status::SRCH,
+        SysError::Eperm => status::PERM,
+        _ => status::FAIL,
+    }
+}
+
+/// Executes one request; `Ok(None)` for one-way messages.
+fn handle(
+    p: &Proc,
+    procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>,
+    req: Request,
+) -> SysResult<Option<Reply>> {
+    match req {
+        Request::Create {
+            filename,
+            params,
+            filter_port,
+            filter_host,
+            meter_flags,
+            control_port,
+            control_host,
+            redirect_io,
+            stdin_file,
+        } => {
+            let reply = create_process(
+                p,
+                procs,
+                &filename,
+                params,
+                filter_port,
+                &filter_host,
+                meter_flags,
+                control_port,
+                &control_host,
+                redirect_io,
+                stdin_file,
+            )?;
+            Ok(Some(reply))
+        }
+        Request::CreateFilter {
+            filterfile,
+            port,
+            logfile,
+            descriptions,
+            templates,
+        } => {
+            let args = vec![
+                port.to_string(),
+                logfile,
+                descriptions,
+                templates,
+            ];
+            match p.spawn_file(&filterfile, args, None) {
+                Ok(pid) => {
+                    // Filters run immediately.
+                    p.kill(pid, Sig::Cont)?;
+                    Ok(Some(Reply::Create {
+                        pid,
+                        status: status::OK,
+                    }))
+                }
+                Err(e) => Ok(Some(Reply::Create {
+                    pid: Pid(0),
+                    status: sys_status(&e),
+                })),
+            }
+        }
+        Request::SetFlags { pid, flags } => Ok(Some(ack(
+            p.setmeter(PidSel::Pid(pid), FlagSel::Set(flags), SockSel::NoChange),
+        ))),
+        Request::Start { pid } => Ok(Some(ack(p.kill(pid, Sig::Cont)))),
+        Request::Stop { pid } => Ok(Some(ack(p.kill(pid, Sig::Stop)))),
+        Request::Kill { pid } => Ok(Some(ack(p.kill(pid, Sig::Kill)))),
+        Request::Acquire {
+            pid,
+            filter_port,
+            filter_host,
+            meter_flags,
+            control_port: _,
+            control_host: _,
+        } => {
+            let result = (|| -> SysResult<()> {
+                let s = connect_filter(p, &filter_host, filter_port)?;
+                let r =
+                    p.setmeter(PidSel::Pid(pid), FlagSel::Set(meter_flags), SockSel::Fd(s));
+                let _ = p.close(s);
+                r
+            })();
+            Ok(Some(match result {
+                Ok(()) => Reply::Create {
+                    pid,
+                    status: status::OK,
+                },
+                Err(e) => Reply::Create {
+                    pid: Pid(0),
+                    status: sys_status(&e),
+                },
+            }))
+        }
+        Request::GetFile { path } => Ok(Some(match p.machine().fs().read(&path) {
+            Some(data) => Reply::File {
+                status: status::OK,
+                data,
+            },
+            None => Reply::File {
+                status: status::NOENT,
+                data: Vec::new(),
+            },
+        })),
+        Request::ClearMeter { pid } => Ok(Some(ack(p.setmeter(
+            PidSel::Pid(pid),
+            FlagSel::None,
+            SockSel::None,
+        )))),
+        Request::WriteFile { path, data } => {
+            p.machine().fs().write(&path, data);
+            Ok(Some(Reply::Ack { status: status::OK }))
+        }
+        Request::SendInput { pid, data } => {
+            let fd = procs.lock().get(&pid).and_then(|i| i.stdin_fd);
+            Ok(Some(match fd {
+                Some(fd) => ack(p.write(fd, &data).map(|_| ())),
+                None => Reply::Ack {
+                    status: status::SRCH,
+                },
+            }))
+        }
+        // One-way messages are controller-bound; a daemon receiving
+        // them ignores them.
+        Request::StateChange { .. } | Request::IoData { .. } => Ok(None),
+    }
+}
+
+/// Connects a stream socket to the filter, retrying briefly — a
+/// just-created filter may not have bound its port yet.
+fn connect_filter(p: &Proc, host: &str, port: u16) -> SysResult<Fd> {
+    let mut tries = 0;
+    loop {
+        let s = p.socket(Domain::Inet, SockType::Stream)?;
+        match p.connect_host(s, host, port) {
+            Ok(()) => return Ok(s),
+            Err(SysError::Econnrefused) if tries < 200 => {
+                let _ = p.close(s);
+                tries += 1;
+                p.sleep_ms(5)?;
+                // Virtual sleeps are instantaneous in real time; give
+                // the just-spawned filter thread real time to bind.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Err(e) => {
+                let _ = p.close(s);
+                return Err(e);
+            }
+        }
+    }
+}
+
+fn ack<T>(r: SysResult<T>) -> Reply {
+    match r {
+        Ok(_) => Reply::Ack { status: status::OK },
+        Err(e) => Reply::Ack {
+            status: sys_status(&e),
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn create_process(
+    p: &Proc,
+    procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>,
+    filename: &str,
+    params: Vec<String>,
+    filter_port: u16,
+    filter_host: &str,
+    meter_flags: MeterFlags,
+    control_port: u16,
+    control_host: &str,
+    redirect_io: bool,
+    stdin_file: Option<String>,
+) -> SysResult<Reply> {
+    // The meter connection: "the meterdaemon creates its socket by
+    // calling socket(), and initiates the connection to the filter.
+    // Once the connection is established, the daemon calls setmeter(),
+    // passing to it the connected socket descriptor." (§4.1)
+    let meter_sock = if meter_flags.meters_anything() || filter_port != 0 {
+        match connect_filter(p, filter_host, filter_port) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                return Ok(Reply::Create {
+                    pid: Pid(0),
+                    status: sys_status(&e),
+                });
+            }
+        }
+    } else {
+        None
+    };
+
+    // The stdio gateway (§3.5.2): one socketpair; the child's stdio
+    // descriptors all point at its end.
+    let stdio = if redirect_io {
+        let (ours, theirs) = p.socketpair()?;
+        Some((ours, theirs))
+    } else {
+        None
+    };
+
+    let spawned = p.spawn_file(filename, params, stdio.map(|(_, theirs)| theirs));
+    let pid = match spawned {
+        Ok(pid) => pid,
+        Err(e) => {
+            if let Some(s) = meter_sock {
+                let _ = p.close(s);
+            }
+            if let Some((a, b)) = stdio {
+                let _ = p.close(a);
+                let _ = p.close(b);
+            }
+            return Ok(Reply::Create {
+                pid: Pid(0),
+                status: sys_status(&e),
+            });
+        }
+    };
+
+    if let Some(s) = meter_sock {
+        p.setmeter(PidSel::Pid(pid), FlagSel::Set(meter_flags), SockSel::Fd(s))?;
+        p.close(s)?;
+    }
+
+    let mut stdin_fd = None;
+    if let Some((ours, theirs)) = stdio {
+        // The child holds `theirs` through its stdio slots.
+        p.close(theirs)?;
+        stdin_fd = Some(ours);
+        // Standard input from a file (§3.5.2): the daemon opens the
+        // (already-copied) file and feeds it down the gateway, then
+        // half-closes so the process sees end-of-file. The reverse
+        // direction — the process's stdout — keeps flowing.
+        if let Some(path) = &stdin_file {
+            match p.machine().fs().read(path) {
+                Some(contents) => {
+                    p.write(ours, &contents)?;
+                    p.shutdown_write(ours)?;
+                    stdin_fd = None; // no terminal input possible now
+                }
+                None => {
+                    // The input file is missing: fail the create.
+                    let _ = p.kill(pid, Sig::Kill);
+                    let _ = p.close(ours);
+                    return Ok(Reply::Create {
+                        pid: Pid(0),
+                        status: status::NOENT,
+                    });
+                }
+            }
+        }
+        // Output forwarder: reads the gateway and relays each chunk to
+        // the controller over a fresh connection, mirroring the
+        // daemon's temporary-connection style.
+        let fwd_host = control_host.to_owned();
+        let fwd_port = control_port;
+        p.fork_with(move |c| {
+            loop {
+                let data = c.read(ours, 1024)?;
+                if data.is_empty() {
+                    break;
+                }
+                let _ = notify(&c, &fwd_host, fwd_port, &Request::IoData { pid, data });
+            }
+            Ok(())
+        })?;
+    }
+
+    procs.lock().insert(
+        pid,
+        ProcInfo {
+            control_host: control_host.to_owned(),
+            control_port,
+            stdin_fd,
+        },
+    );
+    Ok(Reply::Create {
+        pid,
+        status: status::OK,
+    })
+}

@@ -1,0 +1,684 @@
+//! The controller ↔ meterdaemon communication protocol.
+//!
+//! "The cooperation between the controller and the meterdaemons
+//! implies a need for a communication protocol. This protocol defines
+//! the information to be exchanged, the synchronization of the
+//! exchange, and the procedure for establishing communication
+//! connections. … This format includes a message type and a message
+//! body. The type field identifies the purpose of the message. … The
+//! exchange is structured as a remote procedure call." (§3.5.1,
+//! Fig. 3.6)
+//!
+//! Fig. 3.6 gives two concrete type numbers — `11: create request`
+//! (filename, parameter count, parameter list, filter port, filter
+//! host, meter flags, control port, control host) and `18: create
+//! reply` (pid, status) — reproduced here verbatim; the remaining
+//! numbers fill the obvious gaps.
+//!
+//! Wire form: `u32 total-length, u32 type, body`, strings as
+//! `u32 length + bytes`, all little-endian (VAX order).
+
+use dpm_meter::MeterFlags;
+use dpm_simos::Pid;
+use std::fmt;
+
+/// Message type numbers. `CREATE_REQUEST` and `CREATE_REPLY` are the
+/// two the paper shows.
+pub mod msg_type {
+    /// Create a metered process (Fig. 3.6).
+    pub const CREATE_REQUEST: u32 = 11;
+    /// Create a filter process.
+    pub const CREATE_FILTER: u32 = 12;
+    /// Change a process's meter flags.
+    pub const SET_FLAGS: u32 = 13;
+    /// Start (or resume) a process.
+    pub const START: u32 = 14;
+    /// Stop a process.
+    pub const STOP: u32 = 15;
+    /// Kill a process.
+    pub const KILL: u32 = 16;
+    /// Acquire (begin metering) an already-running process.
+    pub const ACQUIRE: u32 = 17;
+    /// Reply to `CREATE_REQUEST`/`CREATE_FILTER` (Fig. 3.6).
+    pub const CREATE_REPLY: u32 = 18;
+    /// Fetch a file (a filter's log).
+    pub const GET_FILE: u32 = 19;
+    /// Stop metering a process (used when removing an acquired
+    /// process: the filter connection is taken down but the process
+    /// keeps running, §4.3 `removejob`).
+    pub const CLEAR_METER: u32 = 20;
+    /// Generic acknowledgement reply.
+    pub const ACK: u32 = 21;
+    /// Reply carrying file contents.
+    pub const FILE_REPLY: u32 = 22;
+    /// Daemon → controller: a process changed state (§3.5.1's one
+    /// exception, where the daemon initiates the connection).
+    pub const STATE_CHANGE: u32 = 23;
+    /// Daemon → controller: bytes a process wrote to its redirected
+    /// standard output (§3.5.2).
+    pub const IO_DATA: u32 = 24;
+    /// Write a file on the daemon's machine — the simulation's `rcp`
+    /// (§3.5.3).
+    pub const WRITE_FILE: u32 = 25;
+    /// Feed bytes to a process's redirected standard input.
+    pub const SEND_INPUT: u32 = 26;
+}
+
+/// Status codes carried in replies. 0 is success, as tradition
+/// demands.
+pub mod status {
+    /// Operation succeeded.
+    pub const OK: u32 = 0;
+    /// No such file.
+    pub const NOENT: u32 = 1;
+    /// No such process.
+    pub const SRCH: u32 = 2;
+    /// Permission denied.
+    pub const PERM: u32 = 3;
+    /// Anything else.
+    pub const FAIL: u32 = 4;
+}
+
+/// A request sent from the controller to a meterdaemon (or, for the
+/// last two variants, from a daemon to a controller).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `11`: create a metered process, suspended.
+    Create {
+        /// Executable file on the daemon's machine.
+        filename: String,
+        /// Program parameters.
+        params: Vec<String>,
+        /// Filter's port for the meter connection.
+        filter_port: u16,
+        /// Filter's host (literal name, §3.5.4).
+        filter_host: String,
+        /// Initial meter flags.
+        meter_flags: MeterFlags,
+        /// Controller's notification port.
+        control_port: u16,
+        /// Controller's host.
+        control_host: String,
+        /// Whether to redirect the process's stdio through the daemon
+        /// gateway (§3.5.2).
+        redirect_io: bool,
+        /// A file on the daemon's machine whose contents become the
+        /// process's standard input, followed by end-of-file ("the
+        /// file is copied to the machine on which the specified
+        /// process is executing. The file is then opened by the
+        /// meterdaemon, which redirects to it the standard input of
+        /// the process", §3.5.2). Requires `redirect_io`.
+        stdin_file: Option<String>,
+    },
+    /// `12`: create a filter process (runs immediately).
+    CreateFilter {
+        /// Executable file of the filter.
+        filterfile: String,
+        /// Port the filter will listen on for meter connections.
+        port: u16,
+        /// Log file path on the filter's machine.
+        logfile: String,
+        /// Descriptions file path.
+        descriptions: String,
+        /// Templates (selection rules) file path.
+        templates: String,
+    },
+    /// `13`: replace a process's meter flags.
+    SetFlags {
+        /// The process.
+        pid: Pid,
+        /// The new mask.
+        flags: MeterFlags,
+    },
+    /// `14`: start or resume.
+    Start {
+        /// The process.
+        pid: Pid,
+    },
+    /// `15`: stop.
+    Stop {
+        /// The process.
+        pid: Pid,
+    },
+    /// `16`: kill.
+    Kill {
+        /// The process.
+        pid: Pid,
+    },
+    /// `17`: meter an already-running process.
+    Acquire {
+        /// The process.
+        pid: Pid,
+        /// Filter's meter port.
+        filter_port: u16,
+        /// Filter's host.
+        filter_host: String,
+        /// Meter flags to set.
+        meter_flags: MeterFlags,
+        /// Controller notification port.
+        control_port: u16,
+        /// Controller host.
+        control_host: String,
+    },
+    /// `19`: fetch a file from the daemon's machine.
+    GetFile {
+        /// Path on the daemon's machine.
+        path: String,
+    },
+    /// `20`: take down a process's meter connection and flags.
+    ClearMeter {
+        /// The process.
+        pid: Pid,
+    },
+    /// `25`: write a file on the daemon's machine (`rcp`).
+    WriteFile {
+        /// Destination path.
+        path: String,
+        /// File contents.
+        data: Vec<u8>,
+    },
+    /// `26`: feed a process's redirected standard input.
+    SendInput {
+        /// The process.
+        pid: Pid,
+        /// The bytes.
+        data: Vec<u8>,
+    },
+    /// `23` (daemon → controller): process state change.
+    StateChange {
+        /// The process.
+        pid: Pid,
+        /// 0 = terminated normally, 1 = killed, 2 = stopped.
+        state: u32,
+    },
+    /// `24` (daemon → controller): redirected process output.
+    IoData {
+        /// The process.
+        pid: Pid,
+        /// What it wrote.
+        data: Vec<u8>,
+    },
+}
+
+/// A reply to a [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `18`: result of `Create`/`CreateFilter`/`Acquire`.
+    Create {
+        /// New (or acquired) process id; 0 on failure.
+        pid: Pid,
+        /// A [`status`] code.
+        status: u32,
+    },
+    /// `21`: plain acknowledgement.
+    Ack {
+        /// A [`status`] code.
+        status: u32,
+    },
+    /// `22`: file contents.
+    File {
+        /// A [`status`] code.
+        status: u32,
+        /// The bytes (empty on failure).
+        data: Vec<u8>,
+    },
+}
+
+impl Reply {
+    /// The reply's status code.
+    pub fn status(&self) -> u32 {
+        match self {
+            Reply::Create { status, .. } | Reply::Ack { status } | Reply::File { status, .. } => {
+                *status
+            }
+        }
+    }
+}
+
+/// Error decoding a protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    what: String,
+}
+
+impl ProtoError {
+    fn new(what: impl Into<String>) -> ProtoError {
+        ProtoError { what: what.into() }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.what)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+// --- wire helpers -----------------------------------------------------
+
+struct W(Vec<u8>);
+
+impl W {
+    fn new(ty: u32) -> W {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(&0u32.to_le_bytes()); // length placeholder
+        v.extend_from_slice(&ty.to_le_bytes());
+        W(v)
+    }
+    fn u32(&mut self, v: u32) -> &mut W {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    fn str(&mut self, s: &str) -> &mut W {
+        self.bytes(s.as_bytes())
+    }
+    fn bytes(&mut self, b: &[u8]) -> &mut W {
+        self.u32(b.len() as u32);
+        self.0.extend_from_slice(b);
+        self
+    }
+    fn finish(mut self) -> Vec<u8> {
+        let len = self.0.len() as u32;
+        self.0[0..4].copy_from_slice(&len.to_le_bytes());
+        self.0
+    }
+}
+
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self
+            .buf
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| ProtoError::new("truncated u32"))?;
+        self.pos += 4;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32()? as usize;
+        let b = self
+            .buf
+            .get(self.pos..self.pos + len)
+            .ok_or_else(|| ProtoError::new("truncated bytes"))?;
+        self.pos += len;
+        Ok(b.to_vec())
+    }
+    fn str(&mut self) -> Result<String, ProtoError> {
+        String::from_utf8(self.bytes()?).map_err(|_| ProtoError::new("non-utf8 string"))
+    }
+}
+
+impl Request {
+    /// The message's type number.
+    pub fn msg_type(&self) -> u32 {
+        match self {
+            Request::Create { .. } => msg_type::CREATE_REQUEST,
+            Request::CreateFilter { .. } => msg_type::CREATE_FILTER,
+            Request::SetFlags { .. } => msg_type::SET_FLAGS,
+            Request::Start { .. } => msg_type::START,
+            Request::Stop { .. } => msg_type::STOP,
+            Request::Kill { .. } => msg_type::KILL,
+            Request::Acquire { .. } => msg_type::ACQUIRE,
+            Request::GetFile { .. } => msg_type::GET_FILE,
+            Request::ClearMeter { .. } => msg_type::CLEAR_METER,
+            Request::WriteFile { .. } => msg_type::WRITE_FILE,
+            Request::SendInput { .. } => msg_type::SEND_INPUT,
+            Request::StateChange { .. } => msg_type::STATE_CHANGE,
+            Request::IoData { .. } => msg_type::IO_DATA,
+        }
+    }
+
+    /// Encodes to the wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W::new(self.msg_type());
+        match self {
+            Request::Create {
+                filename,
+                params,
+                filter_port,
+                filter_host,
+                meter_flags,
+                control_port,
+                control_host,
+                redirect_io,
+                stdin_file,
+            } => {
+                w.str(filename);
+                w.u32(params.len() as u32);
+                for p in params {
+                    w.str(p);
+                }
+                w.u32(*filter_port as u32);
+                w.str(filter_host);
+                w.u32(meter_flags.bits());
+                w.u32(*control_port as u32);
+                w.str(control_host);
+                w.u32(*redirect_io as u32);
+                w.str(stdin_file.as_deref().unwrap_or(""));
+            }
+            Request::CreateFilter {
+                filterfile,
+                port,
+                logfile,
+                descriptions,
+                templates,
+            } => {
+                w.str(filterfile);
+                w.u32(*port as u32);
+                w.str(logfile);
+                w.str(descriptions);
+                w.str(templates);
+            }
+            Request::SetFlags { pid, flags } => {
+                w.u32(pid.0);
+                w.u32(flags.bits());
+            }
+            Request::Start { pid } | Request::Stop { pid } | Request::Kill { pid } => {
+                w.u32(pid.0);
+            }
+            Request::Acquire {
+                pid,
+                filter_port,
+                filter_host,
+                meter_flags,
+                control_port,
+                control_host,
+            } => {
+                w.u32(pid.0);
+                w.u32(*filter_port as u32);
+                w.str(filter_host);
+                w.u32(meter_flags.bits());
+                w.u32(*control_port as u32);
+                w.str(control_host);
+            }
+            Request::GetFile { path } => {
+                w.str(path);
+            }
+            Request::ClearMeter { pid } => {
+                w.u32(pid.0);
+            }
+            Request::WriteFile { path, data } => {
+                w.str(path);
+                w.bytes(data);
+            }
+            Request::SendInput { pid, data } => {
+                w.u32(pid.0);
+                w.bytes(data);
+            }
+            Request::StateChange { pid, state } => {
+                w.u32(pid.0);
+                w.u32(*state);
+            }
+            Request::IoData { pid, data } => {
+                w.u32(pid.0);
+                w.bytes(data);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a complete message (including its length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on truncation or an unknown type number.
+    pub fn decode(buf: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = R { buf, pos: 0 };
+        let _len = r.u32()?;
+        let ty = r.u32()?;
+        Ok(match ty {
+            msg_type::CREATE_REQUEST => {
+                let filename = r.str()?;
+                let n = r.u32()? as usize;
+                if n > 4096 {
+                    return Err(ProtoError::new("absurd parameter count"));
+                }
+                let mut params = Vec::with_capacity(n);
+                for _ in 0..n {
+                    params.push(r.str()?);
+                }
+                Request::Create {
+                    filename,
+                    params,
+                    filter_port: r.u32()? as u16,
+                    filter_host: r.str()?,
+                    meter_flags: MeterFlags::from_bits(r.u32()?),
+                    control_port: r.u32()? as u16,
+                    control_host: r.str()?,
+                    redirect_io: r.u32()? != 0,
+                    stdin_file: {
+                        let s = r.str()?;
+                        if s.is_empty() { None } else { Some(s) }
+                    },
+                }
+            }
+            msg_type::CREATE_FILTER => Request::CreateFilter {
+                filterfile: r.str()?,
+                port: r.u32()? as u16,
+                logfile: r.str()?,
+                descriptions: r.str()?,
+                templates: r.str()?,
+            },
+            msg_type::SET_FLAGS => Request::SetFlags {
+                pid: Pid(r.u32()?),
+                flags: MeterFlags::from_bits(r.u32()?),
+            },
+            msg_type::START => Request::Start { pid: Pid(r.u32()?) },
+            msg_type::STOP => Request::Stop { pid: Pid(r.u32()?) },
+            msg_type::KILL => Request::Kill { pid: Pid(r.u32()?) },
+            msg_type::ACQUIRE => Request::Acquire {
+                pid: Pid(r.u32()?),
+                filter_port: r.u32()? as u16,
+                filter_host: r.str()?,
+                meter_flags: MeterFlags::from_bits(r.u32()?),
+                control_port: r.u32()? as u16,
+                control_host: r.str()?,
+            },
+            msg_type::GET_FILE => Request::GetFile { path: r.str()? },
+            msg_type::CLEAR_METER => Request::ClearMeter { pid: Pid(r.u32()?) },
+            msg_type::WRITE_FILE => Request::WriteFile {
+                path: r.str()?,
+                data: r.bytes()?,
+            },
+            msg_type::SEND_INPUT => Request::SendInput {
+                pid: Pid(r.u32()?),
+                data: r.bytes()?,
+            },
+            msg_type::STATE_CHANGE => Request::StateChange {
+                pid: Pid(r.u32()?),
+                state: r.u32()?,
+            },
+            msg_type::IO_DATA => Request::IoData {
+                pid: Pid(r.u32()?),
+                data: r.bytes()?,
+            },
+            other => return Err(ProtoError::new(format!("unknown request type {other}"))),
+        })
+    }
+}
+
+impl Reply {
+    /// The message's type number.
+    pub fn msg_type(&self) -> u32 {
+        match self {
+            Reply::Create { .. } => msg_type::CREATE_REPLY,
+            Reply::Ack { .. } => msg_type::ACK,
+            Reply::File { .. } => msg_type::FILE_REPLY,
+        }
+    }
+
+    /// Encodes to the wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = W::new(self.msg_type());
+        match self {
+            Reply::Create { pid, status } => {
+                w.u32(pid.0);
+                w.u32(*status);
+            }
+            Reply::Ack { status } => {
+                w.u32(*status);
+            }
+            Reply::File { status, data } => {
+                w.u32(*status);
+                w.bytes(data);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a complete message.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError`] on truncation or an unknown type number.
+    pub fn decode(buf: &[u8]) -> Result<Reply, ProtoError> {
+        let mut r = R { buf, pos: 0 };
+        let _len = r.u32()?;
+        let ty = r.u32()?;
+        Ok(match ty {
+            msg_type::CREATE_REPLY => Reply::Create {
+                pid: Pid(r.u32()?),
+                status: r.u32()?,
+            },
+            msg_type::ACK => Reply::Ack { status: r.u32()? },
+            msg_type::FILE_REPLY => Reply::File {
+                status: r.u32()?,
+                data: r.bytes()?,
+            },
+            other => return Err(ProtoError::new(format!("unknown reply type {other}"))),
+        })
+    }
+}
+
+/// Reads the total length from a message's first four bytes, so stream
+/// readers know how much to collect.
+pub fn frame_len(prefix: &[u8]) -> Option<usize> {
+    if prefix.len() < 4 {
+        return None;
+    }
+    Some(u32::from_le_bytes([prefix[0], prefix[1], prefix[2], prefix[3]]) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_request_matches_figure_3_6_shape() {
+        // Fig. 3.6: type 11 with filename, parameter count, parameter
+        // list, filter port, filter host, meter flags, control port,
+        // control host.
+        let req = Request::Create {
+            filename: "/bin/A".into(),
+            params: vec!["x".into(), "y".into()],
+            filter_port: 4000,
+            filter_host: "blue".into(),
+            meter_flags: MeterFlags::SEND | MeterFlags::RECEIVE,
+            control_port: 5000,
+            control_host: "yellow".into(),
+            redirect_io: true,
+            stdin_file: Some("/tmp/in".into()),
+        };
+        let wire = req.encode();
+        assert_eq!(frame_len(&wire), Some(wire.len()));
+        let ty = u32::from_le_bytes([wire[4], wire[5], wire[6], wire[7]]);
+        assert_eq!(ty, 11, "create request is type 11");
+        assert_eq!(Request::decode(&wire).unwrap(), req);
+    }
+
+    #[test]
+    fn create_reply_matches_figure_3_6_shape() {
+        let rep = Reply::Create {
+            pid: Pid(2120),
+            status: status::OK,
+        };
+        let wire = rep.encode();
+        let ty = u32::from_le_bytes([wire[4], wire[5], wire[6], wire[7]]);
+        assert_eq!(ty, 18, "create reply is type 18");
+        // Body: pid then status, directly after the 8-byte prefix.
+        assert_eq!(u32::from_le_bytes([wire[8], wire[9], wire[10], wire[11]]), 2120);
+        assert_eq!(Reply::decode(&wire).unwrap(), rep);
+    }
+
+    #[test]
+    fn every_request_round_trips() {
+        let f = MeterFlags::ALL;
+        let reqs = vec![
+            Request::CreateFilter {
+                filterfile: "/bin/filter".into(),
+                port: 4001,
+                logfile: "/usr/tmp/f1".into(),
+                descriptions: "descriptions".into(),
+                templates: "templates".into(),
+            },
+            Request::SetFlags { pid: Pid(7), flags: f },
+            Request::Start { pid: Pid(7) },
+            Request::Stop { pid: Pid(7) },
+            Request::Kill { pid: Pid(7) },
+            Request::Acquire {
+                pid: Pid(9),
+                filter_port: 1,
+                filter_host: "h".into(),
+                meter_flags: f,
+                control_port: 2,
+                control_host: "c".into(),
+            },
+            Request::GetFile { path: "/usr/tmp/f1".into() },
+            Request::ClearMeter { pid: Pid(9) },
+            Request::WriteFile {
+                path: "/bin/A".into(),
+                data: vec![1, 2, 3],
+            },
+            Request::SendInput {
+                pid: Pid(9),
+                data: b"hello\n".to_vec(),
+            },
+            Request::StateChange { pid: Pid(9), state: 0 },
+            Request::IoData {
+                pid: Pid(9),
+                data: b"output".to_vec(),
+            },
+        ];
+        for req in reqs {
+            let wire = req.encode();
+            assert_eq!(Request::decode(&wire).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn every_reply_round_trips() {
+        for rep in [
+            Reply::Create { pid: Pid(1), status: 0 },
+            Reply::Ack { status: status::PERM },
+            Reply::File {
+                status: status::OK,
+                data: vec![9; 100],
+            },
+        ] {
+            assert_eq!(Reply::decode(&rep.encode()).unwrap(), rep);
+        }
+    }
+
+    #[test]
+    fn decode_errors_on_garbage() {
+        assert!(Request::decode(&[1, 2]).is_err());
+        let mut wire = Request::Start { pid: Pid(1) }.encode();
+        wire[4..8].copy_from_slice(&999u32.to_le_bytes());
+        assert!(Request::decode(&wire).unwrap_err().to_string().contains("999"));
+        let mut truncated = Request::GetFile { path: "abc".into() }.encode();
+        truncated.truncate(10);
+        assert!(Request::decode(&truncated).is_err());
+        assert!(Reply::decode(&[0; 8]).is_err());
+    }
+
+    #[test]
+    fn frame_len_reads_prefix() {
+        assert_eq!(frame_len(&[5, 0, 0, 0, 9]), Some(5));
+        assert_eq!(frame_len(&[1, 2]), None);
+    }
+}

@@ -1,0 +1,298 @@
+//! Integration tests for the meterdaemon: the Fig. 3.5 scenario —
+//! a controller on machine A drives processes on machine B through
+//! the daemon's RPC protocol, and the daemon reports state changes
+//! back on connections it initiates.
+
+use dpm_filter::register_filter_program;
+use dpm_meter::MeterFlags;
+use dpm_meterd::{notify, read_frame, rpc_call, start_meterdaemons, Reply, Request, status};
+use dpm_simnet::NetConfig;
+use dpm_simos::{BindTo, Cluster, Domain, Pid, Proc, SockType, SysResult, Uid};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+const CONTROL_PORT: u16 = 5001;
+
+fn cluster() -> Arc<Cluster> {
+    let c = Cluster::builder()
+        .net(NetConfig::ideal())
+        .seed(11)
+        .machine("yellow") // controller
+        .machine("red") // workers
+        .machine("blue") // filter
+        .build();
+    register_filter_program(&c);
+    start_meterdaemons(&c);
+    c
+}
+
+/// Runs `body` as a host-driven "controller" process on yellow with a
+/// notification listener socket already bound; notifications are
+/// pushed into the returned queue by a forked helper.
+fn with_controller<F>(c: &Arc<Cluster>, body: F) -> Arc<Mutex<Vec<Request>>>
+where
+    F: FnOnce(&Proc) -> SysResult<()> + Send + 'static,
+{
+    let notes: Arc<Mutex<Vec<Request>>> = Arc::new(Mutex::new(Vec::new()));
+    let notes2 = notes.clone();
+    let yellow = c.machine("yellow").unwrap();
+    let pid = yellow.spawn_fn("controller", Uid(7), None, true, move |p| {
+        let ns = p.socket(Domain::Inet, SockType::Stream)?;
+        p.bind(ns, BindTo::Port(CONTROL_PORT))?;
+        p.listen(ns, 16)?;
+        let sink = notes2.clone();
+        p.fork_with(move |lp| loop {
+            let (conn, _) = lp.accept(ns)?;
+            while let Some(frame) = read_frame(&lp, conn)? {
+                if let Ok(req) = Request::decode(&frame) {
+                    sink.lock().push(req);
+                }
+            }
+            lp.close(conn)?;
+        })?;
+        body(&p)
+    });
+    yellow.wait_exit(pid);
+    notes
+}
+
+fn create_req(filename: &str, params: Vec<String>, flags: MeterFlags, redirect: bool) -> Request {
+    Request::Create {
+        filename: filename.into(),
+        params,
+        filter_port: 4000,
+        filter_host: "blue".into(),
+        meter_flags: flags,
+        control_port: CONTROL_PORT,
+        control_host: "yellow".into(),
+        redirect_io: redirect,
+        stdin_file: None,
+    }
+}
+
+fn start_filter(p: &Proc) -> SysResult<Pid> {
+    let rep = rpc_call(
+        p,
+        "blue",
+        &Request::CreateFilter {
+            filterfile: "/bin/filter".into(),
+            port: 4000,
+            logfile: "/usr/tmp/log.f1".into(),
+            descriptions: "descriptions".into(),
+            templates: "templates".into(),
+        },
+    )?;
+    match rep {
+        Reply::Create { pid, status: 0 } => Ok(pid),
+        other => panic!("filter creation failed: {other:?}"),
+    }
+}
+
+#[test]
+fn create_start_and_termination_notification() {
+    let c = cluster();
+    c.register_program("worker", |p, _args| {
+        p.compute_ms(5)?;
+        p.write(1, b"worker output\n")?;
+        Ok(())
+    });
+    c.install_program_file("red", "/bin/worker", "worker");
+
+    let notes = with_controller(&c, |p| {
+        start_filter(p)?;
+        // Create the worker on red — it comes back suspended.
+        let rep = rpc_call(
+            p,
+            "red",
+            &create_req("/bin/worker", vec![], MeterFlags::ALL, true),
+        )?;
+        let Reply::Create { pid, status: 0 } = rep else {
+            panic!("create failed: {rep:?}");
+        };
+        // Start it; wait for the daemon's termination notice to land.
+        let rep = rpc_call(p, "red", &Request::Start { pid })?;
+        assert_eq!(rep.status(), 0);
+        p.sleep_ms(200)?;
+        // Real time for the notification to arrive.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        Ok(())
+    });
+
+    let notes = notes.lock();
+    let term: Vec<&Request> = notes
+        .iter()
+        .filter(|r| matches!(r, Request::StateChange { state: 0, .. }))
+        .collect();
+    assert_eq!(term.len(), 1, "exactly one normal-termination notice: {notes:?}");
+    let io: Vec<&Request> = notes
+        .iter()
+        .filter(|r| matches!(r, Request::IoData { .. }))
+        .collect();
+    assert_eq!(io.len(), 1, "redirected stdout was forwarded: {notes:?}");
+    if let Request::IoData { data, .. } = io[0] {
+        assert_eq!(data, b"worker output\n");
+    }
+    c.shutdown();
+}
+
+#[test]
+fn create_failures_report_status() {
+    let c = cluster();
+    let _ = with_controller(&c, |p| {
+        start_filter(p)?;
+        // Missing file.
+        let rep = rpc_call(
+            p,
+            "red",
+            &create_req("/bin/missing", vec![], MeterFlags::NONE, false),
+        )?;
+        assert_eq!(rep.status(), status::NOENT);
+        // Bad filter host/port: connection refused at create time.
+        let rep = rpc_call(
+            p,
+            "red",
+            &Request::Create {
+                filename: "/etc/meterd".into(),
+                params: vec![],
+                filter_port: 9999,
+                filter_host: "blue".into(),
+                meter_flags: MeterFlags::ALL,
+                control_port: CONTROL_PORT,
+                control_host: "yellow".into(),
+                redirect_io: false,
+                stdin_file: None,
+            },
+        )?;
+        assert_eq!(rep.status(), status::FAIL);
+        // Unknown pid control.
+        let rep = rpc_call(p, "red", &Request::Start { pid: Pid(424242) })?;
+        assert_eq!(rep.status(), status::SRCH);
+        Ok(())
+    });
+    c.shutdown();
+}
+
+#[test]
+fn stop_resume_and_kill_through_the_daemon() {
+    let c = cluster();
+    c.register_program("spinner", |p, _| loop {
+        p.compute_ms(1)?;
+    });
+    c.install_program_file("red", "/bin/spinner", "spinner");
+    let red = c.machine("red").unwrap();
+    let red2 = red.clone();
+
+    let _ = with_controller(&c, move |p| {
+        start_filter(p)?;
+        let Reply::Create { pid, status: 0 } = rpc_call(
+            p,
+            "red",
+            &create_req("/bin/spinner", vec![], MeterFlags::NONE, false),
+        )?
+        else {
+            panic!("create failed")
+        };
+        assert_eq!(
+            red2.proc_state(pid),
+            Some(dpm_simos::RunState::Embryo),
+            "created suspended"
+        );
+        assert_eq!(rpc_call(p, "red", &Request::Start { pid })?.status(), 0);
+        while red2.proc_cpu_us(pid).unwrap_or(0) == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(rpc_call(p, "red", &Request::Stop { pid })?.status(), 0);
+        // Let it park.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(
+            red2.proc_state(pid),
+            Some(dpm_simos::RunState::Stopped)
+        );
+        assert_eq!(rpc_call(p, "red", &Request::Start { pid })?.status(), 0);
+        assert_eq!(rpc_call(p, "red", &Request::Kill { pid })?.status(), 0);
+        red2.wait_exit(pid);
+        Ok(())
+    });
+    c.shutdown();
+}
+
+#[test]
+fn write_and_get_file_round_trip() {
+    let c = cluster();
+    let _ = with_controller(&c, |p| {
+        let rep = rpc_call(
+            p,
+            "red",
+            &Request::WriteFile {
+                path: "/tmp/hello".into(),
+                data: b"payload".to_vec(),
+            },
+        )?;
+        assert_eq!(rep.status(), 0);
+        let rep = rpc_call(p, "red", &Request::GetFile { path: "/tmp/hello".into() })?;
+        match rep {
+            Reply::File { status: 0, data } => assert_eq!(data, b"payload"),
+            other => panic!("get file failed: {other:?}"),
+        }
+        let rep = rpc_call(p, "red", &Request::GetFile { path: "/nope".into() })?;
+        assert_eq!(rep.status(), status::NOENT);
+        Ok(())
+    });
+    c.shutdown();
+}
+
+#[test]
+fn send_input_reaches_redirected_stdin() {
+    let c = cluster();
+    let echoed: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
+    let sink = echoed.clone();
+    c.register_program("reader", move |p, _| {
+        let line = p.read_line(0)?;
+        *sink.lock() = line.unwrap_or_default();
+        Ok(())
+    });
+    c.install_program_file("red", "/bin/reader", "reader");
+
+    let _ = with_controller(&c, |p| {
+        start_filter(p)?;
+        let Reply::Create { pid, status: 0 } = rpc_call(
+            p,
+            "red",
+            &create_req("/bin/reader", vec![], MeterFlags::NONE, true),
+        )?
+        else {
+            panic!("create failed")
+        };
+        assert_eq!(rpc_call(p, "red", &Request::Start { pid })?.status(), 0);
+        let rep = rpc_call(
+            p,
+            "red",
+            &Request::SendInput {
+                pid,
+                data: b"typed line\n".to_vec(),
+            },
+        )?;
+        assert_eq!(rep.status(), 0);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        Ok(())
+    });
+    assert_eq!(*echoed.lock(), "typed line");
+    c.shutdown();
+}
+
+#[test]
+fn one_way_notify_does_not_expect_reply() {
+    let c = cluster();
+    let _ = with_controller(&c, |p| {
+        // Misusing notify against a daemon: the daemon just ignores
+        // the one-way message and closes.
+        notify(
+            p,
+            "red",
+            dpm_meterd::METERD_PORT,
+            &Request::StateChange { pid: Pid(1), state: 0 },
+        )?;
+        Ok(())
+    });
+    c.shutdown();
+}

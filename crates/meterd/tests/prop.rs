@@ -1,0 +1,117 @@
+//! Property-based tests of the controller↔daemon protocol: arbitrary
+//! well-formed messages round-trip; arbitrary bytes never panic the
+//! decoders.
+
+use dpm_meter::MeterFlags;
+use dpm_meterd::{frame_len, Reply, Request};
+use dpm_simos::Pid;
+use proptest::prelude::*;
+
+fn arb_string() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9/._-]{0,40}"
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (
+            arb_string(),
+            proptest::collection::vec(arb_string(), 0..5),
+            any::<u16>(),
+            arb_string(),
+            any::<u32>(),
+            any::<u16>(),
+            arb_string(),
+            any::<bool>(),
+            proptest::option::of("[a-z/._-]{1,30}"),
+        )
+            .prop_map(
+                |(filename, params, filter_port, filter_host, flags, control_port, control_host, redirect_io, stdin_file)| {
+                    Request::Create {
+                        filename,
+                        params,
+                        filter_port,
+                        filter_host,
+                        meter_flags: MeterFlags::from_bits(flags),
+                        control_port,
+                        control_host,
+                        redirect_io,
+                        stdin_file,
+                    }
+                }
+            ),
+        (arb_string(), any::<u16>(), arb_string(), arb_string(), arb_string()).prop_map(
+            |(filterfile, port, logfile, descriptions, templates)| Request::CreateFilter {
+                filterfile,
+                port,
+                logfile,
+                descriptions,
+                templates,
+            }
+        ),
+        (any::<u32>(), any::<u32>()).prop_map(|(p, f)| Request::SetFlags {
+            pid: Pid(p),
+            flags: MeterFlags::from_bits(f),
+        }),
+        any::<u32>().prop_map(|p| Request::Start { pid: Pid(p) }),
+        any::<u32>().prop_map(|p| Request::Stop { pid: Pid(p) }),
+        any::<u32>().prop_map(|p| Request::Kill { pid: Pid(p) }),
+        arb_string().prop_map(|path| Request::GetFile { path }),
+        any::<u32>().prop_map(|p| Request::ClearMeter { pid: Pid(p) }),
+        (arb_string(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(
+            |(path, data)| Request::WriteFile { path, data }
+        ),
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..100)).prop_map(
+            |(p, data)| Request::SendInput { pid: Pid(p), data }
+        ),
+        (any::<u32>(), 0u32..3).prop_map(|(p, s)| Request::StateChange {
+            pid: Pid(p),
+            state: s,
+        }),
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..100)).prop_map(
+            |(p, data)| Request::IoData { pid: Pid(p), data }
+        ),
+    ]
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        (any::<u32>(), 0u32..5).prop_map(|(p, s)| Reply::Create {
+            pid: Pid(p),
+            status: s,
+        }),
+        (0u32..5).prop_map(|s| Reply::Ack { status: s }),
+        (0u32..5, proptest::collection::vec(any::<u8>(), 0..300)).prop_map(|(s, data)| {
+            Reply::File { status: s, data }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn requests_round_trip(req in arb_request()) {
+        let wire = req.encode();
+        prop_assert_eq!(frame_len(&wire), Some(wire.len()));
+        prop_assert_eq!(Request::decode(&wire).expect("decode"), req);
+    }
+
+    #[test]
+    fn replies_round_trip(rep in arb_reply()) {
+        let wire = rep.encode();
+        prop_assert_eq!(frame_len(&wire), Some(wire.len()));
+        prop_assert_eq!(Reply::decode(&wire).expect("decode"), rep);
+    }
+
+    #[test]
+    fn decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Request::decode(&bytes);
+        let _ = Reply::decode(&bytes);
+        let _ = frame_len(&bytes);
+    }
+
+    #[test]
+    fn truncation_is_an_error(req in arb_request(), cut in 1usize..8) {
+        let wire = req.encode();
+        let keep = wire.len().saturating_sub(cut);
+        prop_assert!(Request::decode(&wire[..keep]).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Virtual time: the hidden global clock and skewed machine clocks.
+//!
+//! "Time can be synchronized in a relative sense between processors,
+//! but a complete ordering of events (full synchronization) is not
+//! possible. … even algorithms that work well cannot guarantee
+//! perfectly synchronized clocks." (§1.1)
+//!
+//! The simulation therefore keeps one *unobservable* [`GlobalTime`]
+//! (discrete-event style, advanced by activity) and derives each
+//! machine's visible clock from it through a per-machine offset and
+//! rate skew. Traces taken on different machines disagree about
+//! absolute time exactly the way the paper's VAXen did, which is what
+//! makes the analysis crate's happens-before reconstruction meaningful.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The hidden "true" time of the simulation, in microseconds.
+///
+/// It only moves forward. Activity (computation, system calls, message
+/// latency) advances it; a blocked receiver waiting for a message that
+/// is still "in flight" jumps it forward to the delivery time, as in
+/// any discrete-event simulator.
+#[derive(Debug, Default)]
+pub struct GlobalTime {
+    micros: AtomicU64,
+}
+
+impl GlobalTime {
+    /// Creates a clock at time zero.
+    pub fn new() -> GlobalTime {
+        GlobalTime::default()
+    }
+
+    /// Current true time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+
+    /// Advances true time by `d` microseconds, returning the new time.
+    pub fn advance_us(&self, d: u64) -> u64 {
+        self.micros.fetch_add(d, Ordering::SeqCst) + d
+    }
+
+    /// Advances true time to at least `t` microseconds, returning the
+    /// (possibly larger) current time. Never moves time backwards.
+    pub fn advance_to_us(&self, t: u64) -> u64 {
+        self.micros.fetch_max(t, Ordering::SeqCst).max(t)
+    }
+}
+
+/// Configuration for one machine's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClockSpec {
+    /// Fixed offset added to the derived local time, in microseconds.
+    /// Models machines booted at different moments.
+    pub offset_us: i64,
+    /// Rate skew in parts per million. `+200` means this machine's
+    /// crystal runs 200 ppm fast. Real 1980s clocks drifted tens of
+    /// ppm; the TEMPO work the paper cites fought exactly this.
+    pub skew_ppm: i32,
+}
+
+/// One machine's view of time, derived from [`GlobalTime`].
+///
+/// The visible reading (in milliseconds, as the `cpuTime` header field)
+/// is `(global * (1_000_000 + skew_ppm) / 1_000_000 + offset) / 1000`.
+///
+/// # Example
+///
+/// ```
+/// use dpm_simnet::{ClockSpec, GlobalTime, MachineClock};
+/// use std::sync::Arc;
+///
+/// let global = Arc::new(GlobalTime::new());
+/// let fast = MachineClock::new(global.clone(), ClockSpec { offset_us: 0, skew_ppm: 1000 });
+/// let slow = MachineClock::new(global.clone(), ClockSpec { offset_us: 0, skew_ppm: -1000 });
+/// global.advance_us(10_000_000); // 10 true seconds
+/// assert!(fast.now_ms() > slow.now_ms());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineClock {
+    global: Arc<GlobalTime>,
+    spec: ClockSpec,
+}
+
+impl MachineClock {
+    /// Creates a machine clock deriving from `global` with `spec`.
+    pub fn new(global: Arc<GlobalTime>, spec: ClockSpec) -> MachineClock {
+        MachineClock { global, spec }
+    }
+
+    /// The clock's configuration.
+    pub fn spec(&self) -> ClockSpec {
+        self.spec
+    }
+
+    /// The underlying global time handle.
+    pub fn global(&self) -> &Arc<GlobalTime> {
+        &self.global
+    }
+
+    /// The machine's local time in microseconds.
+    pub fn now_us(&self) -> i64 {
+        self.at_us(self.global.now_us())
+    }
+
+    /// The machine's local time corresponding to a given *global*
+    /// time, in microseconds. Used to stamp an event that logically
+    /// occurred at `global_us` even if other activity has since pushed
+    /// the global clock further.
+    pub fn at_us(&self, global_us: u64) -> i64 {
+        let g = global_us as i128;
+        let skewed = g * (1_000_000 + self.spec.skew_ppm as i128) / 1_000_000;
+        (skewed + self.spec.offset_us as i128) as i64
+    }
+
+    /// Like [`MachineClock::at_us`] but in clamped milliseconds — the
+    /// value stamped into `cpuTime` meter-header fields.
+    pub fn at_ms(&self, global_us: u64) -> u32 {
+        (self.at_us(global_us).max(0) / 1000) as u32
+    }
+
+    /// The machine's local time in milliseconds — the value stamped
+    /// into the `cpuTime` field of meter message headers.
+    ///
+    /// Negative local times (possible with a large negative offset
+    /// right after boot) clamp to zero, as a real `time(2)` would never
+    /// go below the epoch in practice.
+    pub fn now_ms(&self) -> u32 {
+        self.at_ms(self.global.now_us())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_time_advances_monotonically() {
+        let t = GlobalTime::new();
+        assert_eq!(t.now_us(), 0);
+        assert_eq!(t.advance_us(5), 5);
+        assert_eq!(t.advance_to_us(3), 5, "advance_to never goes backwards");
+        assert_eq!(t.advance_to_us(9), 9);
+        assert_eq!(t.now_us(), 9);
+    }
+
+    #[test]
+    fn zero_skew_zero_offset_tracks_global() {
+        let g = Arc::new(GlobalTime::new());
+        let c = MachineClock::new(g.clone(), ClockSpec::default());
+        g.advance_us(123_456);
+        assert_eq!(c.now_us(), 123_456);
+        assert_eq!(c.now_ms(), 123);
+    }
+
+    #[test]
+    fn skew_makes_clocks_diverge() {
+        let g = Arc::new(GlobalTime::new());
+        let fast = MachineClock::new(
+            g.clone(),
+            ClockSpec {
+                offset_us: 0,
+                skew_ppm: 500,
+            },
+        );
+        let slow = MachineClock::new(
+            g.clone(),
+            ClockSpec {
+                offset_us: 0,
+                skew_ppm: -500,
+            },
+        );
+        g.advance_us(100_000_000); // 100 s
+        let gap = fast.now_us() - slow.now_us();
+        // ±500 ppm over 100 s → 100 ms total divergence.
+        assert_eq!(gap, 100_000);
+    }
+
+    #[test]
+    fn offset_shifts_clock() {
+        let g = Arc::new(GlobalTime::new());
+        let c = MachineClock::new(
+            g.clone(),
+            ClockSpec {
+                offset_us: 2_000_000,
+                skew_ppm: 0,
+            },
+        );
+        assert_eq!(c.now_ms(), 2000);
+        g.advance_us(1_000_000);
+        assert_eq!(c.now_ms(), 3000);
+    }
+
+    #[test]
+    fn negative_local_time_clamps_in_ms() {
+        let g = Arc::new(GlobalTime::new());
+        let c = MachineClock::new(
+            g,
+            ClockSpec {
+                offset_us: -5_000_000,
+                skew_ppm: 0,
+            },
+        );
+        assert_eq!(c.now_ms(), 0);
+        assert!(c.now_us() < 0, "raw microseconds still visible");
+    }
+
+    #[test]
+    fn clock_skew_can_order_receive_before_send() {
+        // The pathology the paper warns about: with unsynchronized
+        // clocks, a receive can be *timestamped* before its send.
+        let g = Arc::new(GlobalTime::new());
+        let sender = MachineClock::new(
+            g.clone(),
+            ClockSpec {
+                offset_us: 1_000_000, // sender's clock is 1 s ahead
+                skew_ppm: 0,
+            },
+        );
+        let receiver = MachineClock::new(g.clone(), ClockSpec::default());
+        g.advance_us(1_000_000);
+        let send_stamp = sender.now_ms();
+        g.advance_us(5_000); // 5 ms of network latency
+        let recv_stamp = receiver.now_ms();
+        assert!(
+            recv_stamp < send_stamp,
+            "receive stamped {recv_stamp} ms, send stamped {send_stamp} ms"
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! Wire-level counters for the benchmark harness.
+//!
+//! The measurement system itself must be measurable: the E1/E2 benches
+//! (metering overhead, buffering) need to know how many frames and
+//! bytes actually crossed the simulated wire, including the meter
+//! traffic the monitor adds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe counters of simulated network traffic.
+///
+/// All counters are cumulative since construction; [`WireStats::snapshot`]
+/// gives a consistent-enough copy for reporting (individual loads are
+/// atomic; cross-counter skew is irrelevant for coarse statistics).
+#[derive(Debug, Default)]
+pub struct WireStats {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+    datagrams_lost: AtomicU64,
+    meter_frames: AtomicU64,
+    meter_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`WireStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireSnapshot {
+    /// Frames carried (application + monitor).
+    pub frames: u64,
+    /// Payload bytes carried.
+    pub bytes: u64,
+    /// Cross-machine datagrams dropped by the loss model.
+    pub datagrams_lost: u64,
+    /// Frames that were meter messages (monitor overhead).
+    pub meter_frames: u64,
+    /// Payload bytes that were meter messages.
+    pub meter_bytes: u64,
+}
+
+impl WireStats {
+    /// Creates zeroed counters.
+    pub fn new() -> WireStats {
+        WireStats::default()
+    }
+
+    /// Records an application frame of `len` payload bytes.
+    pub fn record_frame(&self, len: usize) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    /// Records a meter-connection frame of `len` payload bytes.
+    /// Also counted in the aggregate frame/byte totals.
+    pub fn record_meter_frame(&self, len: usize) {
+        self.record_frame(len);
+        self.meter_frames.fetch_add(1, Ordering::Relaxed);
+        self.meter_bytes.fetch_add(len as u64, Ordering::Relaxed);
+    }
+
+    /// Records a datagram dropped by the loss model.
+    pub fn record_loss(&self) {
+        self.datagrams_lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copies the counters.
+    pub fn snapshot(&self) -> WireSnapshot {
+        WireSnapshot {
+            frames: self.frames.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            datagrams_lost: self.datagrams_lost.load(Ordering::Relaxed),
+            meter_frames: self.meter_frames.load(Ordering::Relaxed),
+            meter_bytes: self.meter_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl WireSnapshot {
+    /// Counter-wise difference `self - earlier`, for interval reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier
+    /// (any counter would go negative).
+    pub fn since(&self, earlier: &WireSnapshot) -> WireSnapshot {
+        WireSnapshot {
+            frames: self.frames - earlier.frames,
+            bytes: self.bytes - earlier.bytes,
+            datagrams_lost: self.datagrams_lost - earlier.datagrams_lost,
+            meter_frames: self.meter_frames - earlier.meter_frames,
+            meter_bytes: self.meter_bytes - earlier.meter_bytes,
+        }
+    }
+
+    /// Fraction of wire bytes that were monitor overhead, in `[0, 1]`.
+    /// Zero when nothing was carried.
+    pub fn meter_byte_fraction(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            self.meter_bytes as f64 / self.bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = WireStats::new();
+        s.record_frame(100);
+        s.record_frame(50);
+        s.record_meter_frame(60);
+        s.record_loss();
+        let snap = s.snapshot();
+        assert_eq!(snap.frames, 3);
+        assert_eq!(snap.bytes, 210);
+        assert_eq!(snap.meter_frames, 1);
+        assert_eq!(snap.meter_bytes, 60);
+        assert_eq!(snap.datagrams_lost, 1);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = WireStats::new();
+        s.record_frame(10);
+        let a = s.snapshot();
+        s.record_meter_frame(20);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.frames, 1);
+        assert_eq!(d.bytes, 20);
+        assert_eq!(d.meter_bytes, 20);
+    }
+
+    #[test]
+    fn meter_fraction() {
+        let s = WireStats::new();
+        assert_eq!(s.snapshot().meter_byte_fraction(), 0.0);
+        s.record_frame(75);
+        s.record_meter_frame(25);
+        let f = s.snapshot().meter_byte_fraction();
+        assert!((f - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WireStats>();
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for the time and network substrate.
+
+use dpm_simnet::{ClockSpec, Fate, GlobalTime, HostId, MachineClock, NetConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #[test]
+    fn machine_clocks_are_monotone(
+        skew in -500i32..=500,
+        offset in -1_000_000i64..=1_000_000,
+        steps in proptest::collection::vec(1u64..100_000, 1..50),
+    ) {
+        let g = Arc::new(GlobalTime::new());
+        let c = MachineClock::new(g.clone(), ClockSpec { offset_us: offset, skew_ppm: skew });
+        let mut last = c.now_us();
+        for d in steps {
+            g.advance_us(d);
+            let now = c.now_us();
+            prop_assert!(now >= last, "clock went backwards: {last} -> {now}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn skew_error_is_bounded_by_ppm(
+        skew in -500i32..=500,
+        elapsed in 1u64..100_000_000,
+    ) {
+        let g = Arc::new(GlobalTime::new());
+        let c = MachineClock::new(g.clone(), ClockSpec { offset_us: 0, skew_ppm: skew });
+        g.advance_us(elapsed);
+        let drift = c.now_us() - elapsed as i64;
+        let bound = (elapsed as i128 * skew.unsigned_abs() as i128 / 1_000_000) as i64 + 1;
+        prop_assert!(drift.abs() <= bound, "drift {drift} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn latency_samples_stay_in_bounds(seed in any::<u64>()) {
+        let cfg = NetConfig::lan();
+        let mut m = cfg.latency_model(seed);
+        for _ in 0..200 {
+            let l = m.sample_us(HostId(0), HostId(1));
+            prop_assert!(l >= cfg.latency_min_us && l <= cfg.latency_max_us);
+            match m.datagram_fate(HostId(0), HostId(1)) {
+                Fate::Deliver { latency_us } => {
+                    // Reordered datagrams may take up to two samples.
+                    prop_assert!(latency_us >= cfg.latency_min_us);
+                    prop_assert!(latency_us <= 2 * cfg.latency_max_us);
+                }
+                Fate::Lost => {}
+            }
+        }
+    }
+
+    #[test]
+    fn loss_free_configs_never_lose(seed in any::<u64>()) {
+        let mut m = NetConfig::ideal().latency_model(seed);
+        for _ in 0..200 {
+            let delivered = matches!(
+                m.datagram_fate(HostId(0), HostId(1)),
+                Fate::Deliver { latency_us: _ }
+            );
+            prop_assert!(delivered);
+        }
+    }
+
+    #[test]
+    fn global_time_advance_to_is_idempotent_and_monotone(
+        targets in proptest::collection::vec(any::<u32>(), 1..50),
+    ) {
+        let g = GlobalTime::new();
+        let mut max_seen = 0u64;
+        for t in targets {
+            let t = t as u64;
+            let now = g.advance_to_us(t);
+            max_seen = max_seen.max(t);
+            prop_assert_eq!(now, max_seen);
+            prop_assert_eq!(g.advance_to_us(0), max_seen, "never goes back");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! System-call error numbers.
+//!
+//! The simulated kernel reports failures with the 4.2BSD error names
+//! the paper uses: `setmeter(2)` fails with `EPERM` when "the process
+//! specified does not belong to the caller" and `ESRCH` when "the
+//! socket does not exist" (Appendix C).
+
+use std::fmt;
+
+/// Result type of every simulated system call.
+pub type SysResult<T> = Result<T, SysError>;
+
+/// A 4.2BSD-flavoured system-call error.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SysError {
+    /// Operation not permitted (caller lacks the required privilege).
+    Eperm,
+    /// No such process, or (per the `setmeter(2)` manual page) no such
+    /// socket.
+    Esrch,
+    /// Bad file descriptor.
+    Ebadf,
+    /// Invalid argument.
+    Einval,
+    /// Address already in use.
+    Eaddrinuse,
+    /// Connection refused: nothing listening, or the pending queue is
+    /// full.
+    Econnrefused,
+    /// Socket is not connected.
+    Enotconn,
+    /// Socket is already connected.
+    Eisconn,
+    /// Broken pipe: write on a connection whose peer has gone away.
+    Epipe,
+    /// No such file or directory.
+    Enoent,
+    /// Exec format error: the named file is not a runnable program.
+    Enoexec,
+    /// Operation does not fit the socket's type or state.
+    Eopnotsupp,
+    /// Message too long for a datagram.
+    Emsgsize,
+    /// No buffer space: the destination datagram queue is full.
+    Enobufs,
+    /// The calling process was killed; the "error" unwinds the program
+    /// body so the thread can exit. Not a real 4.2BSD errno — the real
+    /// kernel destroys the process outright, which a library cannot.
+    Killed,
+}
+
+impl SysError {
+    /// The conventional errno name, e.g. `"EPERM"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SysError::Eperm => "EPERM",
+            SysError::Esrch => "ESRCH",
+            SysError::Ebadf => "EBADF",
+            SysError::Einval => "EINVAL",
+            SysError::Eaddrinuse => "EADDRINUSE",
+            SysError::Econnrefused => "ECONNREFUSED",
+            SysError::Enotconn => "ENOTCONN",
+            SysError::Eisconn => "EISCONN",
+            SysError::Epipe => "EPIPE",
+            SysError::Enoent => "ENOENT",
+            SysError::Enoexec => "ENOEXEC",
+            SysError::Eopnotsupp => "EOPNOTSUPP",
+            SysError::Emsgsize => "EMSGSIZE",
+            SysError::Enobufs => "ENOBUFS",
+            SysError::Killed => "KILLED",
+        }
+    }
+}
+
+impl fmt::Display for SysError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            SysError::Eperm => "operation not permitted",
+            SysError::Esrch => "no such process",
+            SysError::Ebadf => "bad file descriptor",
+            SysError::Einval => "invalid argument",
+            SysError::Eaddrinuse => "address already in use",
+            SysError::Econnrefused => "connection refused",
+            SysError::Enotconn => "socket is not connected",
+            SysError::Eisconn => "socket is already connected",
+            SysError::Epipe => "broken pipe",
+            SysError::Enoent => "no such file or directory",
+            SysError::Enoexec => "exec format error",
+            SysError::Eopnotsupp => "operation not supported on socket",
+            SysError::Emsgsize => "message too long",
+            SysError::Enobufs => "no buffer space available",
+            SysError::Killed => "process killed",
+        };
+        write!(f, "{} ({})", what, self.name())
+    }
+}
+
+impl std::error::Error for SysError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_messages() {
+        assert_eq!(SysError::Eperm.name(), "EPERM");
+        assert_eq!(
+            SysError::Econnrefused.to_string(),
+            "connection refused (ECONNREFUSED)"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_err<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<SysError>();
+    }
+}

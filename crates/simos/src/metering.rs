@@ -1,0 +1,148 @@
+//! Kernel-resident metering: event generation, buffering, flushing.
+//!
+//! "On every call to a routine that might initiate a meter event, the
+//! kernel checks whether the call is currently metered for the process
+//! that is making the call. If the call is metered, the kernel creates
+//! and stores a message containing trace data. When a sufficient
+//! number of messages have been stored, the kernel sends them together
+//! to the filter across the meter connection. As part of process
+//! termination, any unsent messages are forwarded to the filter. Of
+//! course, it is also possible to have all meter messages sent
+//! immediately after the occurrence of each event." (§3.2)
+
+use crate::cluster::Cluster;
+use crate::machine::{FlushPlan, KernState, Machine};
+use crate::process::Pid;
+use crate::socket::{SockKind, StreamState};
+use dpm_meter::{
+    trace_type, MeterBody, MeterFlags, MeterHeader, MeterMsg, MeterTermProc, TermReason,
+};
+
+/// The meter flag guarding a given trace type.
+pub(crate) fn flag_for(trace: u32) -> MeterFlags {
+    match trace {
+        trace_type::SEND => MeterFlags::SEND,
+        trace_type::RECEIVECALL => MeterFlags::RECEIVECALL,
+        trace_type::RECEIVE => MeterFlags::RECEIVE,
+        trace_type::SOCKET => MeterFlags::SOCKET,
+        trace_type::DUP => MeterFlags::DUP,
+        trace_type::DESTSOCKET => MeterFlags::DESTSOCKET,
+        trace_type::FORK => MeterFlags::FORK,
+        trace_type::ACCEPT => MeterFlags::ACCEPT,
+        trace_type::CONNECT => MeterFlags::CONNECT,
+        trace_type::TERMPROC => MeterFlags::TERMPROC,
+        _ => MeterFlags::NONE,
+    }
+}
+
+/// Generates one meter event for `pid` if its flags select the event's
+/// type. Buffers the encoded message; returns a [`FlushPlan`] when the
+/// buffer reaches the flush threshold (or the process has
+/// `M_IMMEDIATE` set). The caller must execute the plan **after**
+/// releasing the kernel lock.
+pub(crate) fn emit(
+    k: &mut KernState,
+    machine: &Machine,
+    cluster: &Cluster,
+    pid: Pid,
+    body: MeterBody,
+) -> Option<FlushPlan> {
+    let threshold = cluster.config().meter_buffer_msgs;
+    let cost = cluster.config().costs.meter_event_us;
+    let p = k.procs.get_mut(&pid)?;
+    let flag = flag_for(body.trace_type());
+    if flag.is_empty() || !p.meter_flags.contains(flag) {
+        return None;
+    }
+    // The metering work itself costs CPU — the overhead experiment E1
+    // measures exactly this.
+    p.cpu_us += cost;
+    p.local_us += cost;
+    let local = p.local_us;
+    machine.clock().global().advance_to_us(local);
+    let header = MeterHeader {
+        size: 0,
+        machine: machine.id().0 as u16,
+        cpu_time: machine.clock().at_ms(local),
+        proc_time: p.proc_time_ms(),
+        trace_type: body.trace_type(),
+    };
+    let msg = MeterMsg { header, body };
+    msg.encode_into(&mut p.meter_buf);
+    p.meter_buf_count += 1;
+    let immediate = p.meter_flags.contains(MeterFlags::IMMEDIATE);
+    if immediate || p.meter_buf_count >= threshold {
+        flush(k, machine, cluster, pid)
+    } else {
+        None
+    }
+}
+
+/// Emits the process-termination event (if flagged). Does not flush;
+/// callers follow with [`force_flush`].
+pub(crate) fn emit_termproc(
+    k: &mut KernState,
+    machine: &Machine,
+    cluster: &Cluster,
+    pid: Pid,
+    reason: TermReason,
+) -> Option<FlushPlan> {
+    let pc = k.procs.get(&pid)?.syscall_count;
+    emit(
+        k,
+        machine,
+        cluster,
+        pid,
+        MeterBody::TermProc(MeterTermProc {
+            pid: pid.0,
+            pc,
+            reason,
+        }),
+    )
+}
+
+/// Unconditionally flushes whatever is buffered (used at process
+/// termination).
+pub(crate) fn force_flush(
+    k: &mut KernState,
+    machine: &Machine,
+    cluster: &Cluster,
+    pid: Pid,
+) -> Option<FlushPlan> {
+    flush(k, machine, cluster, pid)
+}
+
+/// Drains the process's meter buffer into a delivery plan addressed to
+/// the filter at the other end of the meter connection.
+///
+/// Messages are *lost* — exactly as the `setmeter(2)` manual page
+/// warns — when the meter socket is absent, has vanished, or is not
+/// connected.
+fn flush(k: &mut KernState, machine: &Machine, cluster: &Cluster, pid: Pid) -> Option<FlushPlan> {
+    let flush_cost = cluster.config().costs.meter_flush_us;
+    let p = k.procs.get_mut(&pid)?;
+    if p.meter_buf.is_empty() {
+        return None;
+    }
+    let bytes = std::mem::take(&mut p.meter_buf);
+    p.meter_buf_count = 0;
+    let meter_sock = p.meter_sock?;
+    p.cpu_us += flush_cost;
+    p.local_us += flush_cost;
+    let local = p.local_us;
+    machine.clock().global().advance_to_us(local);
+    let sock = k.socks.get(&meter_sock)?;
+    let peer = match &sock.kind {
+        SockKind::Stream {
+            state: StreamState::Connected { peer, .. },
+            ..
+        } => *peer,
+        _ => return None, // unconnected meter socket: messages lost
+    };
+    let latency = cluster.sample_latency(machine.id(), peer.host);
+    Some(FlushPlan {
+        peer,
+        bytes,
+        visible_at_us: local + latency,
+    })
+}

@@ -1,0 +1,91 @@
+//! Acquiring a running system server, with selection rules.
+//!
+//! "The acquire command provides the user with the ability to meter a
+//! process that is already executing. … a user may be interested only
+//! in monitoring a system server to better understand its behavior."
+//! (§4.3)
+//!
+//! A forking server is started *outside* any job (like a system
+//! daemon). Clients hammer it; we acquire the server mid-flight, and
+//! use a selection-rules template (Fig. 3.3/3.4 style) so the filter
+//! keeps only send events of at least 64 bytes and discards the `pc`
+//! field from every saved record.
+//!
+//! ```text
+//! cargo run --example acquire_server
+//! ```
+
+use dpm::crates::workloads::client_server::{self, SERVER_PORT};
+use dpm::{Analysis, Simulation, Uid};
+
+fn main() {
+    let sim = Simulation::builder()
+        .machines(["yellow", "red", "green", "blue"])
+        .seed(3)
+        .build();
+
+    // The "system server", started outside the measurement system.
+    let server_pid = sim
+        .cluster()
+        .spawn_user("red", "server", Uid(100), |p| {
+            client_server::server_main(p, vec![])
+        })
+        .expect("server starts");
+
+    let mut control = sim.controller("yellow").expect("controller starts");
+
+    // A selection-rules template on the controller's machine: keep
+    // sends of >= 64 bytes (discarding pc), accepts, and forks.
+    sim.cluster()
+        .machine("yellow")
+        .unwrap()
+        .fs()
+        .write(
+            "templates",
+            "type=1, size>=64, pc=#*\ntype=8, pc=#*\ntype=7, pc=#*\n".as_bytes().to_vec(),
+        );
+
+    control.exec("filter f1 blue /bin/filter descriptions templates");
+    control.exec("newjob watch");
+    control.exec("setflags watch all");
+    control.exec(&format!("acquire watch red {server_pid}"));
+
+    // Clients in their own job, unmetered (we are watching the server).
+    control.exec("newjob load");
+    for (machine, size) in [("green", 64), ("blue", 128)] {
+        control.exec(&format!(
+            "addprocess load {machine} /bin/client red {SERVER_PORT} 5 {size}"
+        ));
+    }
+    control.exec("startjob load");
+    assert!(control.wait_job("load", 60_000), "clients completed");
+
+    control.exec("jobs watch load");
+    control.exec("removejob load");
+    control.exec("removejob watch"); // releases the acquired server
+
+    println!("=== session transcript =========================================");
+    print!("{}", control.transcript());
+
+    let analysis: Analysis = sim.analyze_log(&mut control, "f1");
+    println!("=== filtered trace =============================================");
+    print!("{}", analysis.summary());
+    // Every kept send is >= 64 bytes and carries no pc field.
+    for e in &analysis.trace.events {
+        if let dpm::crates::analysis::EventKind::Send { len, .. } = e.kind {
+            assert!(len >= 64, "selection rule admitted a short send");
+        }
+    }
+
+    // The acquired server must still be running after removejob.
+    let red = sim.cluster().machine("red").unwrap();
+    assert!(
+        !red.proc_state(server_pid).expect("server exists").is_dead(),
+        "acquired process keeps executing after its job is removed"
+    );
+    println!("server still running after removejob: yes");
+
+    control.exec("die");
+    control.exec("die"); // confirm: the server is still active
+    sim.shutdown();
+}

@@ -1,0 +1,67 @@
+//! Monitoring the distributed traveling-salesman computation.
+//!
+//! The paper's §5 reports that "a multiprocess computation was
+//! developed and debugged using the tool" — the Lai & Miller
+//! traveling-salesman program. This example measures it: a master on
+//! `red` and one worker on each of `green` and `blue`, all metered
+//! through a filter on `yellow`, then the three analyses the paper
+//! names (§3.3): communication statistics, measurement of parallelism,
+//! and structural studies.
+//!
+//! ```text
+//! cargo run --example tsp
+//! ```
+
+use dpm::{Analysis, Simulation};
+use dpm::crates::workloads::tsp;
+
+fn main() {
+    let sim = Simulation::builder()
+        .machines(["yellow", "red", "green", "blue"])
+        .seed(7)
+        .build();
+    let mut control = sim.controller("yellow").expect("controller starts");
+
+    let cities = 10;
+    let seed = 11;
+    control.exec("filter f1 yellow");
+    control.exec("newjob tsp");
+    control.exec(&format!(
+        "addprocess tsp red /bin/tsp-master {} {cities} 2 {seed}",
+        tsp::TSP_PORT
+    ));
+    control.exec(&format!("addprocess tsp green /bin/tsp-worker red {}", tsp::TSP_PORT));
+    control.exec(&format!("addprocess tsp blue /bin/tsp-worker red {}", tsp::TSP_PORT));
+    control.exec("setflags tsp all");
+    control.exec("startjob tsp");
+    assert!(control.wait_job("tsp", 120_000), "tsp job completed");
+    control.exec("removejob tsp");
+
+    println!("=== session transcript =========================================");
+    print!("{}", control.transcript());
+
+    // Cross-check the distributed answer against the sequential
+    // baseline (the comparison the original study made).
+    let dist = tsp::distance_matrix(cities, seed);
+    let (best, nodes) = tsp::solve_sequential(&dist);
+    println!("sequential baseline: best tour {best} ({nodes} nodes explored)");
+    let master_line = control
+        .transcript()
+        .lines()
+        .find(|l| l.contains("best "))
+        .map(str::to_owned);
+    if let Some(line) = master_line {
+        println!("distributed answer : {}", line.trim());
+    }
+
+    let analysis: Analysis = sim.analyze_log(&mut control, "f1");
+    println!("=== trace analysis =============================================");
+    print!("{}", analysis.summary());
+    println!("=== who talks to whom ==========================================");
+    print!("{}", analysis.structure);
+    println!("=== graphviz ===================================================");
+    print!("{}", analysis.structure.to_dot());
+
+    control.exec("die");
+    sim.shutdown();
+}

@@ -1,0 +1,83 @@
+//! Standalone trace analyzer: run the paper's analysis routines over
+//! a trace-log file on the real filesystem.
+//!
+//! ```text
+//! cargo run --bin dpm-analyze -- trace.log [--dot] [--debug]
+//! ```
+//!
+//! Produces the §3.3 analyses — communication statistics, measurement
+//! of parallelism, structural studies — plus the happens-before
+//! summary, and optionally the Graphviz drawing (`--dot`) or the
+//! debugging report (`--debug`).
+
+use dpm::Analysis;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path = None;
+    let mut want_dot = false;
+    let mut want_debug = false;
+    let mut want_timeline = false;
+    for a in &args {
+        match a.as_str() {
+            "--dot" => want_dot = true,
+            "--debug" => want_debug = true,
+            "--timeline" => want_timeline = true,
+            "-h" | "--help" => {
+                eprintln!("usage: dpm-analyze <trace-log> [--dot] [--debug] [--timeline]");
+                return;
+            }
+            other => path = Some(other.to_owned()),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: dpm-analyze <trace-log> [--dot] [--debug] [--timeline]");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dpm-analyze: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let a = Analysis::of_log(&text);
+    if a.trace.is_empty() {
+        eprintln!("dpm-analyze: no event records in {path}");
+        std::process::exit(1);
+    }
+    if want_dot {
+        print!("{}", a.structure.to_dot());
+        return;
+    }
+    print!("{}", a.summary());
+    println!("--- structure ---");
+    print!("{}", a.structure);
+    if want_debug {
+        println!("--- debugging ---");
+        print!("{}", a.debug);
+    }
+    if want_timeline {
+        println!("--- timeline (10 ms buckets, per-machine clocks) ---");
+        print!(
+            "{}",
+            dpm::crates::analysis::Timeline::analyze(&a.trace, 10)
+        );
+    }
+    // Clock-offset estimates between machine pairs, when derivable.
+    if !a.stats.clock_offsets.is_empty() {
+        println!("--- clock offsets (ms, B relative to A) ---");
+        let mut pairs: Vec<_> = a.stats.clock_offsets.iter().collect();
+        pairs.sort_by_key(|(k, _)| **k);
+        for ((ma, mb), est) in pairs {
+            match est.midpoint_ms() {
+                Some(mid) => println!(
+                    "machines {ma}->{mb}: offset in [{}, {}], midpoint {mid:.1}",
+                    est.lo_ms.unwrap_or_default(),
+                    est.hi_ms.unwrap_or_default()
+                ),
+                None => println!("machines {ma}->{mb}: one-directional traffic only"),
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! An interactive measurement session — the `<Control>` prompt of the
+//! paper's user's manual (§4.3), on your terminal.
+//!
+//! ```text
+//! cargo run --bin dpm-session
+//! <Control> help
+//! <Control> filter f1 blue
+//! <Control> newjob foo
+//! <Control> addprocess foo red /bin/A green
+//! <Control> addprocess foo green /bin/B
+//! <Control> setflags foo send receive fork accept connect
+//! <Control> startjob foo
+//! <Control> jobs foo
+//! <Control> getlog f1 trace
+//! <Control> analyze trace          (an addition: run the analyses)
+//! <Control> bye
+//! ```
+//!
+//! The simulated machines are `yellow` (your terminal), `red`,
+//! `green`, and `blue`, with the example workloads pre-installed in
+//! `/bin` on every machine.
+
+use dpm::{Analysis, Simulation};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let sim = Simulation::builder()
+        .machines(["yellow", "red", "green", "blue"])
+        .seed(42)
+        .build();
+    let mut control = sim.controller("yellow").expect("controller starts");
+    println!("dpm: distributed programs monitor (simulated 4.2BSD)");
+    println!("machines: yellow (you), red, green, blue — type `help`");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        // Surface any pending DONE/IO notifications first.
+        for line in control.pump() {
+            println!("{line}");
+        }
+        print!("<Control> ");
+        out.flush().expect("flush stdout");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF = control-D = die (§4.3)
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim().to_owned();
+        // Two extensions beyond the paper's command set: `analyze
+        // <tracefile>` runs the analysis routines in place, and
+        // `export <simfile> <realfile>` copies a simulated file (e.g.
+        // a getlog result) to the real filesystem for `dpm-analyze`.
+        if let Some(path) = line.strip_prefix("analyze ") {
+            match sim.local_file(&control, path.trim()) {
+                Some(data) => {
+                    let a = Analysis::of_log(&String::from_utf8_lossy(&data));
+                    print!("{}", a.summary());
+                }
+                None => println!("no local file '{path}' — run getlog first"),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("export ") {
+            let mut it = rest.split_whitespace();
+            match (it.next(), it.next()) {
+                (Some(sim_path), Some(real_path)) => {
+                    match sim.local_file(&control, sim_path) {
+                        Some(data) => match std::fs::write(real_path, data) {
+                            Ok(()) => println!("exported {sim_path} -> {real_path}"),
+                            Err(e) => println!("cannot write {real_path}: {e}"),
+                        },
+                        None => println!("no local file '{sim_path}' — run getlog first"),
+                    }
+                }
+                _ => println!("usage: export <simfile> <realfile>"),
+            }
+            continue;
+        }
+        let output = control.exec(&line);
+        print!("{output}");
+        if control.is_done() {
+            break;
+        }
+    }
+    sim.shutdown();
+}

@@ -1,0 +1,111 @@
+//! The `acquire` path end to end (§4.3): metering an already-running
+//! process, the limits on controlling it, and releasing it on
+//! `removejob` while it keeps executing.
+
+use dpm::crates::analysis::EventKind;
+use dpm::crates::workloads::client_server::SERVER_PORT;
+use dpm::{ProcState, Simulation, Uid};
+
+#[test]
+fn acquired_server_is_metered_released_and_survives() {
+    let sim = Simulation::builder()
+        .machines(["yellow", "red", "green"])
+        .seed(31)
+        .build();
+    // A server started outside the measurement system, like a system
+    // daemon.
+    let server_pid = sim
+        .cluster()
+        .spawn_user("red", "server", Uid(100), |p| {
+            dpm::crates::workloads::client_server::server_main(p, vec![])
+        })
+        .expect("server starts");
+
+    let mut control = sim.controller("yellow").expect("controller");
+    control.exec("filter f1 yellow");
+    control.exec("newjob watch");
+    control.exec("setflags watch all");
+    let out = control.exec(&format!("acquire watch red {server_pid}"));
+    assert!(out.contains("acquired"), "{out}");
+    assert_eq!(
+        control.job("watch").unwrap().procs[0].state,
+        ProcState::Acquired
+    );
+
+    // Acquired processes cannot be started or stopped.
+    let out = control.exec("startjob watch");
+    assert!(out.contains("cannot be started"), "{out}");
+    let out = control.exec("stopjob watch");
+    assert!(out.contains("cannot be stopped"), "{out}");
+
+    // Load the server so it produces events while acquired.
+    control.exec("newjob load");
+    control.exec(&format!(
+        "addprocess load green /bin/client red {SERVER_PORT} 4 32"
+    ));
+    control.exec("startjob load");
+    assert!(control.wait_job("load", 60_000), "client finished");
+    control.exec("removejob load");
+
+    // Release the acquisition; the server keeps running unmetered.
+    control.exec("removejob watch");
+    let red = sim.cluster().machine("red").unwrap();
+    assert!(
+        !red.proc_state(server_pid).expect("exists").is_dead(),
+        "acquired process continues to execute after removejob"
+    );
+
+    // The trace shows the server's side of the conversation —
+    // including its fork-per-connection child, metered by
+    // inheritance. The release-time flush travels to the filter
+    // asynchronously, so poll getlog briefly.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let a = loop {
+        let a = sim.analyze_log(&mut control, "f1");
+        let has_fork = a
+            .trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Fork { .. }));
+        if has_fork || std::time::Instant::now() > deadline {
+            break a;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    };
+    assert!(!a.trace.is_empty(), "acquired server produced events");
+    assert!(
+        a.trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Fork { .. })),
+        "server forked a metered handler"
+    );
+    assert!(
+        a.trace
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Accept { .. })),
+        "server accepted the client"
+    );
+
+    control.exec("die");
+    control.exec("die");
+    sim.shutdown();
+}
+
+#[test]
+fn acquiring_a_nonexistent_process_fails_cleanly() {
+    let sim = Simulation::builder()
+        .machines(["yellow", "red"])
+        .seed(32)
+        .build();
+    let mut control = sim.controller("yellow").expect("controller");
+    control.exec("filter f1 red");
+    control.exec("newjob watch");
+    let out = control.exec("acquire watch red 99999");
+    assert!(out.contains("acquire failed"), "{out}");
+    let out = control.exec("acquire watch red notapid");
+    assert!(out.contains("bad process identifier"), "{out}");
+    control.exec("die");
+    sim.shutdown();
+}

@@ -1,0 +1,87 @@
+//! The paper's debugging story, end to end: a distributed program
+//! with a real bug (a datagram sent to the wrong port) hangs; the
+//! trace pinpoints both the lost message and the blocked receiver
+//! (§5: "a multiprocess computation was developed and debugged using
+//! the tool").
+
+use dpm::crates::simos::{BindTo, Domain, SockType};
+use dpm::{SockName, Simulation};
+
+#[test]
+fn a_hung_computation_is_diagnosed_from_its_trace() {
+    let sim = Simulation::builder()
+        .machines(["yellow", "red", "green"])
+        .seed(99)
+        .build();
+
+    // The buggy pair: the sender addresses port 4242, the receiver
+    // listens on 4243. Classic.
+    sim.cluster().register_program("buggy-sender", |p, _| {
+        let s = p.socket(Domain::Inet, SockType::Datagram)?;
+        let host = p.cluster().resolve_host("green")?;
+        p.sendto(s, b"where are you", &SockName::Inet { host: host.0, port: 4242 })?;
+        Ok(())
+    });
+    sim.cluster().register_program("stuck-receiver", |p, _| {
+        let s = p.socket(Domain::Inet, SockType::Datagram)?;
+        p.bind(s, BindTo::Port(4243))?;
+        let _ = p.recvfrom(s, 64)?; // hangs forever
+        Ok(())
+    });
+    sim.cluster()
+        .install_program_file("red", "/bin/buggy-sender", "buggy-sender");
+    sim.cluster()
+        .install_program_file("green", "/bin/stuck-receiver", "stuck-receiver");
+
+    let mut control = sim.controller("yellow").expect("controller");
+    control.exec("filter f1 yellow");
+    control.exec("newjob buggy");
+    control.exec("addprocess buggy red /bin/buggy-sender");
+    control.exec("addprocess buggy green /bin/stuck-receiver");
+    control.exec("setflags buggy all");
+    control.exec("startjob buggy");
+
+    // The sender finishes; the receiver hangs. Wait for the sender's
+    // DONE, then give up on the job (it will never complete).
+    let done = control.wait_job("buggy", 2_000);
+    assert!(!done, "the bug makes the job hang");
+    assert!(
+        control
+            .transcript()
+            .contains("DONE: process buggy-sender in job 'buggy'"),
+        "{}",
+        control.transcript()
+    );
+
+    // The user stops and removes the hung job (stop → killed is the
+    // Fig. 4.2 path for abandoning a computation).
+    let receiver_pid = control
+        .job("buggy")
+        .and_then(|j| j.procs.iter().find(|p| p.name == "stuck-receiver"))
+        .map(|p| p.pid)
+        .expect("receiver tracked");
+    control.exec("stopjob buggy");
+    control.exec("removejob buggy");
+    // Removing the job untracks its processes (no further DONE lines),
+    // but the stopped receiver really was killed.
+    assert!(control.transcript().contains("'stuck-receiver' removed"));
+    let green = sim.cluster().machine("green").unwrap();
+    assert_eq!(
+        green.wait_exit(receiver_pid),
+        Some(dpm::TermReason::Killed),
+        "removejob killed the stopped receiver"
+    );
+
+    // Now the diagnosis, straight from the trace.
+    let a = sim.analyze_log(&mut control, "f1");
+    assert_eq!(a.debug.lost_sends.len(), 1, "the misaddressed datagram");
+    assert_eq!(a.debug.blocked_receives.len(), 1, "the stuck receive call");
+    let blocked = a.debug.blocked_receives[0];
+    assert_eq!(blocked.proc.machine, 2, "the receiver on green");
+    let report = a.debug.to_string();
+    assert!(report.contains("BLOCKED"), "{report}");
+    assert!(report.contains("LOST"), "{report}");
+
+    control.exec("die");
+    sim.shutdown();
+}

@@ -1,0 +1,83 @@
+//! Fault injection: the measurement system degrades politely when its
+//! own pieces die.
+
+use dpm::crates::meterd::METERD_PROGRAM;
+use dpm::{Simulation, Uid};
+
+/// Find and kill the meterdaemon on a machine (as root would).
+fn kill_daemon(sim: &Simulation, machine: &str) {
+    let m = sim.cluster().machine(machine).expect("machine");
+    // The daemon was the first root process spawned on each machine;
+    // its name is the program name.
+    // Scan a pid window around the initial allocations.
+    for pid in 2117..2200 {
+        let pid = dpm::Pid(pid);
+        if let Some(state) = m.proc_state(pid) {
+            if !state.is_dead() {
+                // Only the daemon runs as root here.
+                if m.proc_uid(pid) == Some(Uid::ROOT) {
+                    let _ = m.signal(None, pid, dpm::crates::simos::Sig::Kill);
+                }
+            }
+        }
+    }
+    let _ = METERD_PROGRAM;
+}
+
+#[test]
+fn controller_reports_failures_when_a_daemon_is_dead() {
+    let sim = Simulation::builder()
+        .machines(["yellow", "red", "green"])
+        .seed(71)
+        .build();
+    let mut control = sim.controller("yellow").expect("controller");
+    control.exec("filter f1 green");
+    control.exec("newjob j");
+
+    kill_daemon(&sim, "red");
+    std::thread::sleep(std::time::Duration::from_millis(20));
+
+    // Creating a process on the daemon-less machine fails with a
+    // reported error instead of hanging or panicking.
+    let out = control.exec("addprocess j red /bin/A green");
+    assert!(
+        out.contains("failed") || out.contains("cannot"),
+        "daemonless create must fail visibly: {out}"
+    );
+    assert!(
+        control.job("j").map(|j| j.procs.len()) == Some(0),
+        "no phantom process was tracked"
+    );
+    // The job exists but is empty; other machines still work.
+    let out = control.exec("addprocess j green /bin/B");
+    assert!(out.contains("created"), "{out}");
+
+    control.exec("die");
+    control.exec("die");
+    sim.shutdown();
+}
+
+#[test]
+fn sessions_survive_a_lossy_network() {
+    // Controller↔daemon and meter connections are streams; datagram
+    // loss must not perturb a session at all.
+    let sim = Simulation::builder()
+        .machines(["yellow", "red", "green"])
+        .net(dpm::NetConfig::lossy())
+        .seed(72)
+        .build();
+    let mut control = sim.controller("yellow").expect("controller");
+    control.exec("filter f1 yellow");
+    control.exec("newjob foo");
+    control.exec("addprocess foo red /bin/A green");
+    control.exec("addprocess foo green /bin/B");
+    // accept/connect included so the analysis can pair the streams.
+    control.exec("setflags foo send receive accept connect");
+    control.exec("startjob foo");
+    assert!(control.wait_job("foo", 120_000), "job completed over a lossy net");
+    control.exec("removejob foo");
+    let a = sim.analyze_log(&mut control, "f1");
+    assert!(a.stats.matched > 0, "trace intact");
+    control.exec("die");
+    sim.shutdown();
+}

@@ -1,0 +1,77 @@
+//! Two independent measurement sessions sharing one cluster: separate
+//! controllers, separate filters, one meterdaemon per machine serving
+//! both — the multi-user situation §3.5.5's protection section
+//! assumes.
+
+use dpm::{Simulation, Uid};
+
+#[test]
+fn two_controllers_measure_independently() {
+    let sim = Simulation::builder()
+        .machines(["term1", "term2", "red", "green"])
+        .seed(61)
+        .build();
+
+    let mut alice = sim.controller_as("term1", Uid(100)).expect("alice");
+    let mut bob = sim.controller_as("term2", Uid(200)).expect("bob");
+
+    alice.exec("filter fa red");
+    bob.exec("filter fb green");
+
+    alice.exec("newjob a-job");
+    bob.exec("newjob b-job");
+
+    // Both run the A/B pair, on distinct ports.
+    alice.exec("addprocess a-job red /bin/A green 1810 3");
+    alice.exec("addprocess a-job green /bin/B 1810");
+    bob.exec("addprocess b-job red /bin/A green 1811 3");
+    bob.exec("addprocess b-job green /bin/B 1811");
+
+    alice.exec("setflags a-job send receive");
+    bob.exec("setflags b-job accept connect");
+
+    alice.exec("startjob a-job");
+    bob.exec("startjob b-job");
+
+    assert!(alice.wait_job("a-job", 60_000), "alice's job finished");
+    assert!(bob.wait_job("b-job", 60_000), "bob's job finished");
+
+    alice.exec("removejob a-job");
+    bob.exec("removejob b-job");
+
+    // Each filter saw only its own job's events, with its own flags.
+    let a = sim.analyze_log(&mut alice, "fa");
+    let b = sim.analyze_log(&mut bob, "fb");
+    assert!(!a.trace.is_empty() && !b.trace.is_empty());
+    for e in &a.trace.events {
+        assert!(
+            matches!(e.kind.name(), "send" | "receive"),
+            "alice flagged only send/receive, saw {}",
+            e.kind.name()
+        );
+    }
+    for e in &b.trace.events {
+        assert!(
+            matches!(e.kind.name(), "accept" | "connect"),
+            "bob flagged only accept/connect, saw {}",
+            e.kind.name()
+        );
+    }
+    // No cross-talk: alice's processes are not in bob's trace. The A
+    // processes differ by pid even though both ran on red.
+    let a_pids: Vec<u32> = a.trace.processes().iter().map(|p| p.pid).collect();
+    let b_pids: Vec<u32> = b.trace.processes().iter().map(|p| p.pid).collect();
+    for p in &a_pids {
+        assert!(!b_pids.contains(p), "pid {p} leaked between sessions");
+    }
+
+    // Each controller's transcript mentions only its own job.
+    assert!(alice.transcript().contains("a-job"));
+    assert!(!alice.transcript().contains("b-job"));
+    assert!(bob.transcript().contains("b-job"));
+    assert!(!bob.transcript().contains("a-job"));
+
+    alice.exec("die");
+    bob.exec("die");
+    sim.shutdown();
+}

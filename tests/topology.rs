@@ -1,0 +1,117 @@
+//! Fig. 3.1 / Fig. 3.5: the process structure of the measurement
+//! system itself — meterdaemons everywhere, filters placeable on any
+//! machine (including one disjoint from the computation), controller
+//! on its own machine.
+
+use dpm::crates::analysis::Analysis;
+use dpm::Simulation;
+
+#[test]
+fn every_machine_runs_a_meterdaemon() {
+    let sim = Simulation::builder()
+        .machines(["one", "two", "three", "four", "five"])
+        .seed(51)
+        .build();
+    // Evidence: a controller on any machine can reach the daemon on
+    // every machine with a file-write RPC.
+    let mut control = sim.controller("three").expect("controller");
+    for m in ["one", "two", "three", "four", "five"] {
+        // Creating a filter on a machine requires its daemon to
+        // answer RPCs and write files there.
+        let out = control.exec(&format!("filter f-{m} {m}"));
+        assert!(out.contains("created"), "daemon on {m} answered: {out}");
+        let machine = sim.cluster().machine(m).unwrap();
+        assert!(
+            machine.fs().exists("descriptions"),
+            "daemon on {m} installed the descriptions file"
+        );
+    }
+    control.exec("die");
+    sim.shutdown();
+}
+
+#[test]
+fn filter_may_run_disjoint_from_the_computation() {
+    // "A filter process may execute on a machine that is disjoint from
+    // the set of machines on which the processes of the computation
+    // are executing." (§3.4)
+    let sim = Simulation::builder()
+        .machines(["console", "work1", "work2", "island"])
+        .seed(52)
+        .build();
+    let mut control = sim.controller("console").expect("controller");
+    control.exec("filter f1 island");
+    control.exec("newjob foo");
+    control.exec("addprocess foo work1 /bin/A work2");
+    control.exec("addprocess foo work2 /bin/B");
+    control.exec("setflags foo all");
+    control.exec("startjob foo");
+    assert!(control.wait_job("foo", 60_000), "job completed");
+    control.exec("removejob foo");
+    let a: Analysis = sim.analyze_log(&mut control, "f1");
+    // The trace was collected on `island`, yet records come from the
+    // two worker machines (host ids 1 and 2).
+    assert_eq!(a.trace.machines(), vec![1, 2]);
+    assert!(a.stats.matched > 0);
+    control.exec("die");
+    sim.shutdown();
+}
+
+#[test]
+fn one_filter_can_collect_several_computations() {
+    // "If desired, it is possible to have one filter collect data from
+    // several computations." (§3.4)
+    let sim = Simulation::builder()
+        .machines(["console", "red", "green"])
+        .seed(53)
+        .build();
+    let mut control = sim.controller("console").expect("controller");
+    control.exec("filter shared console");
+    control.exec("newjob one shared");
+    control.exec("newjob two shared");
+    control.exec("addprocess one red /bin/A green 1700 3");
+    control.exec("addprocess one green /bin/B 1700");
+    control.exec("addprocess two red /bin/A green 1701 3");
+    control.exec("addprocess two green /bin/B 1701");
+    control.exec("setflags one send receive accept connect");
+    control.exec("setflags two send receive accept connect");
+    control.exec("startjob one");
+    control.exec("startjob two");
+    assert!(control.wait_job("one", 60_000));
+    assert!(control.wait_job("two", 60_000));
+    control.exec("removejob one");
+    control.exec("removejob two");
+    let a = sim.analyze_log(&mut control, "shared");
+    assert_eq!(
+        a.pairing.connections.len(),
+        2,
+        "both computations' connections in one log: {:?}",
+        a.pairing.connections
+    );
+    control.exec("die");
+    sim.shutdown();
+}
+
+#[test]
+fn many_jobs_and_filters_coexist() {
+    // "No restriction is placed on the number of jobs or on the number
+    // of filters the user can create." (§4.3)
+    let sim = Simulation::builder()
+        .machines(["console", "red", "green"])
+        .seed(54)
+        .build();
+    let mut control = sim.controller("console").expect("controller");
+    control.exec("filter fa console");
+    control.exec("filter fb red");
+    control.exec("filter fc green");
+    assert_eq!(control.filters().len(), 3);
+    for (i, f) in [("a", "fa"), ("b", "fb"), ("c", "fc")].iter().enumerate() {
+        control.exec(&format!("newjob job{} {}", i, f.1));
+    }
+    let out = control.exec("jobs");
+    assert!(out.contains("job0") && out.contains("job2"), "{out}");
+    let out = control.exec("filter");
+    assert!(out.contains("fa") && out.contains("fc"), "{out}");
+    control.exec("die");
+    sim.shutdown();
+}
