@@ -194,14 +194,8 @@ event=termproc machine=1 cpuTime=50 procTime=50 traceType=10 pid=2 pc=2 reason=0
         let (_t, cp) = build(CHAIN);
         assert_eq!(cp.total_work_ms, 80, "30 + 50 along the causal chain");
         assert_eq!(cp.hops(), 1, "one message hop");
-        assert_eq!(
-            cp.work_per_proc[&ProcKey { machine: 0, pid: 1 }],
-            30
-        );
-        assert_eq!(
-            cp.work_per_proc[&ProcKey { machine: 1, pid: 2 }],
-            50
-        );
+        assert_eq!(cp.work_per_proc[&ProcKey { machine: 0, pid: 1 }], 30);
+        assert_eq!(cp.work_per_proc[&ProcKey { machine: 1, pid: 2 }], 50);
         let (dom, w) = cp.dominant_process().unwrap();
         assert_eq!((dom.pid, w), (2, 50));
     }

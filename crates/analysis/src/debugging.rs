@@ -77,9 +77,7 @@ impl DebugReport {
         }
         let mut blocked_receives: Vec<BlockedReceive> = pending
             .into_iter()
-            .flat_map(|((proc, sock), idxs)| {
-                idxs.into_iter().map(move |idx| (proc, sock, idx))
-            })
+            .flat_map(|((proc, sock), idxs)| idxs.into_iter().map(move |idx| (proc, sock, idx)))
             .map(|(proc, sock, idx)| BlockedReceive {
                 idx,
                 proc,
@@ -132,7 +130,10 @@ impl DebugReport {
 impl fmt::Display for DebugReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.is_clean() && self.lost_sends.is_empty() {
-            return writeln!(f, "no anomalies: all receives completed, all processes terminated");
+            return writeln!(
+                f,
+                "no anomalies: all receives completed, all processes terminated"
+            );
         }
         for b in &self.blocked_receives {
             writeln!(

@@ -51,12 +51,12 @@ pub mod trace;
 pub use critical::{CriticalPath, PathStep};
 pub use debugging::{BlockedReceive, DebugReport, Unterminated};
 pub use hb::HappensBefore;
-pub use timeline::{Bucket, Timeline};
+pub use merge::{merge_logs, merge_traces};
 pub use pairing::{Connection, MatchedMessage, Pairing};
 pub use parallelism::{BusySlice, ParallelismReport};
-pub use merge::{merge_logs, merge_traces};
 pub use stats::{CommStats, OffsetEstimate, ProcStats, SizeHistogram};
 pub use structure::{CommEdge, StructureReport};
+pub use timeline::{Bucket, Timeline};
 pub use trace::{Event, EventKind, ProcKey, Trace};
 
 /// Runs every analysis over one trace log — the convenient all-in-one

@@ -61,7 +61,11 @@ event=receive machine=1 cpuTime=25 procTime=0 traceType=3 pid=2 pc=2 sock=2 msgL
         let t = merge_logs([LOG_A, LOG_B]);
         assert_eq!(t.len(), 4);
         let p = Pairing::analyze(&t);
-        assert_eq!(p.messages.len(), 2, "sends in one log match receives in the other");
+        assert_eq!(
+            p.messages.len(),
+            2,
+            "sends in one log match receives in the other"
+        );
         assert!(p.unmatched_sends.is_empty());
     }
 

@@ -149,10 +149,7 @@ struct RecvRec {
 /// interleave arbitrarily in the log — a receive is routinely logged
 /// before the send that caused it. Within one process, log order is
 /// reliable (one ordered stream), which is all FIFO matching needs.
-fn match_messages(
-    trace: &Trace,
-    connections: &[Connection],
-) -> (Vec<MatchedMessage>, Vec<usize>) {
+fn match_messages(trace: &Trace, connections: &[Connection]) -> (Vec<MatchedMessage>, Vec<usize>) {
     // Stream endpoints pair through the recovered connections.
     let mut peer_of: HashMap<(ProcKey, u32), (ProcKey, u32)> = HashMap::new();
     for c in connections {
@@ -218,8 +215,12 @@ fn match_messages(
     let mut recv_endpoints: Vec<(ProcKey, u32)> = stream_recvs.keys().copied().collect();
     recv_endpoints.sort();
     for rx_ep in recv_endpoints {
-        let Some(&tx_ep) = peer_of.get(&rx_ep) else { continue };
-        let Some(sends) = stream_sends.get_mut(&tx_ep) else { continue };
+        let Some(&tx_ep) = peer_of.get(&rx_ep) else {
+            continue;
+        };
+        let Some(sends) = stream_sends.get_mut(&tx_ep) else {
+            continue;
+        };
         let recvs = stream_recvs.get_mut(&rx_ep).expect("endpoint present");
         let mut si = 0;
         for r in recvs.iter_mut() {
@@ -296,11 +297,7 @@ fn match_messages(
 
 /// The host id of an `inet:<host>:<port>` display name.
 fn host_of(name: &str) -> Option<u32> {
-    name.strip_prefix("inet:")?
-        .split(':')
-        .next()?
-        .parse()
-        .ok()
+    name.strip_prefix("inet:")?.split(':').next()?.parse().ok()
 }
 
 #[cfg(test)]

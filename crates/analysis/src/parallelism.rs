@@ -59,7 +59,9 @@ impl ParallelismReport {
         let mut span: HashMap<u32, (u32, u32)> = HashMap::new(); // machine → (min, max)
 
         for e in &trace.events {
-            let s = span.entry(e.proc.machine).or_insert((e.cpu_time, e.cpu_time));
+            let s = span
+                .entry(e.proc.machine)
+                .or_insert((e.cpu_time, e.cpu_time));
             s.0 = s.0.min(e.cpu_time);
             s.1 = s.1.max(e.cpu_time);
             if let Some((t0, p0)) = last.get(&e.proc).copied() {
@@ -132,7 +134,12 @@ impl fmt::Display for ParallelismReport {
         let mut procs: Vec<&ProcKey> = self.busy_per_proc.keys().collect();
         procs.sort();
         for p in procs {
-            writeln!(f, "  {:<10} busy {} ms", p.to_string(), self.busy_per_proc[p])?;
+            writeln!(
+                f,
+                "  {:<10} busy {} ms",
+                p.to_string(),
+                self.busy_per_proc[p]
+            )?;
         }
         Ok(())
     }

@@ -36,7 +36,11 @@ impl SizeHistogram {
 
     /// Adds one message of `len` bytes.
     pub fn add(&mut self, len: u32) {
-        let bucket = if len <= 1 { 0 } else { (32 - (len - 1).leading_zeros()) as usize };
+        let bucket = if len <= 1 {
+            0
+        } else {
+            (32 - (len - 1).leading_zeros()) as usize
+        };
         if self.buckets.len() <= bucket {
             self.buckets.resize(bucket + 1, 0);
         }
@@ -248,7 +252,13 @@ fn estimate_offsets(trace: &Trace, pairing: &Pairing) -> HashMap<(u32, u32), Off
         // offset(b−a) ≥ −min over b→a of (recv−send)
         let hi = min_ab.get(&k).copied();
         let lo = min_ba.get(&k).copied().map(|v| -v);
-        out.insert(k, OffsetEstimate { lo_ms: lo, hi_ms: hi });
+        out.insert(
+            k,
+            OffsetEstimate {
+                lo_ms: lo,
+                hi_ms: hi,
+            },
+        );
     }
     out
 }

@@ -138,7 +138,12 @@ impl StructureReport {
 
 impl fmt::Display for StructureReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} processes, {} fork edges", self.processes.len(), self.forks.len())?;
+        writeln!(
+            f,
+            "{} processes, {} fork edges",
+            self.processes.len(),
+            self.forks.len()
+        )?;
         for e in &self.edges {
             writeln!(
                 f,
@@ -179,8 +184,14 @@ event=receive machine=2 cpuTime=9 procTime=0 traceType=3 pid=30 pc=1 sock=2 msgL
         assert_eq!(
             s.forks,
             vec![(
-                ProcKey { machine: 0, pid: 10 },
-                ProcKey { machine: 0, pid: 11 }
+                ProcKey {
+                    machine: 0,
+                    pid: 10
+                },
+                ProcKey {
+                    machine: 0,
+                    pid: 11
+                }
             )]
         );
     }
@@ -196,9 +207,21 @@ event=receive machine=2 cpuTime=9 procTime=0 traceType=3 pid=30 pc=1 sock=2 msgL
     #[test]
     fn master_is_the_hub() {
         let s = build();
-        assert_eq!(s.hubs(2), vec![ProcKey { machine: 0, pid: 10 }]);
+        assert_eq!(
+            s.hubs(2),
+            vec![ProcKey {
+                machine: 0,
+                pid: 10
+            }]
+        );
         assert!(s.hubs(3).is_empty());
-        assert_eq!(s.out_degree()[&ProcKey { machine: 0, pid: 10 }], 2);
+        assert_eq!(
+            s.out_degree()[&ProcKey {
+                machine: 0,
+                pid: 10
+            }],
+            2
+        );
     }
 
     #[test]

@@ -62,7 +62,11 @@ impl Timeline {
 
     /// The busiest bucket (by event count) of a machine, if any.
     pub fn peak(&self, machine: u32) -> Option<(u32, Bucket)> {
-        self.machines.get(&machine)?.iter().max_by_key(|(_, b)| b.events).map(|(t, b)| (*t, *b))
+        self.machines
+            .get(&machine)?
+            .iter()
+            .max_by_key(|(_, b)| b.events)
+            .map(|(t, b)| (*t, *b))
     }
 
     /// Buckets of a machine in which *nothing* happened between its
@@ -99,7 +103,12 @@ impl fmt::Display for Timeline {
             .unwrap_or(1)
             .max(1);
         for (m, tl) in &self.machines {
-            writeln!(f, "machine {m} ({} buckets of {} ms):", tl.len(), self.bucket_ms)?;
+            writeln!(
+                f,
+                "machine {m} ({} buckets of {} ms):",
+                tl.len(),
+                self.bucket_ms
+            )?;
             for (t, b) in tl {
                 let width = (b.events * 40).div_ceil(peak) as usize;
                 writeln!(

@@ -270,7 +270,13 @@ event=termproc machine=0 cpuTime=40 procTime=10 traceType=10 pid=100 pc=3 reason
                 dest: Some("inet:1:53".into())
             }
         );
-        assert_eq!(t.events[3].proc, ProcKey { machine: 1, pid: 200 });
+        assert_eq!(
+            t.events[3].proc,
+            ProcKey {
+                machine: 1,
+                pid: 200
+            }
+        );
         assert_eq!(t.events[4].kind, EventKind::Term { reason: 0 });
     }
 
@@ -280,12 +286,25 @@ event=termproc machine=0 cpuTime=40 procTime=10 traceType=10 pid=100 pc=3 reason
         assert_eq!(
             t.processes(),
             vec![
-                ProcKey { machine: 0, pid: 100 },
-                ProcKey { machine: 1, pid: 200 }
+                ProcKey {
+                    machine: 0,
+                    pid: 100
+                },
+                ProcKey {
+                    machine: 1,
+                    pid: 200
+                }
             ]
         );
         assert_eq!(t.machines(), vec![0, 1]);
-        assert_eq!(t.of_process(ProcKey { machine: 0, pid: 100 }).len(), 3);
+        assert_eq!(
+            t.of_process(ProcKey {
+                machine: 0,
+                pid: 100
+            })
+            .len(),
+            3
+        );
     }
 
     #[test]
@@ -293,10 +312,7 @@ event=termproc machine=0 cpuTime=40 procTime=10 traceType=10 pid=100 pc=3 reason
         let t = Trace::parse(
             "event=send machine=0 cpuTime=1 procTime=0 traceType=1 pid=1 pc=1 sock=1 msgLength=5 destName=-\n",
         );
-        assert_eq!(
-            t.events[0].kind,
-            EventKind::Send { len: 5, dest: None }
-        );
+        assert_eq!(t.events[0].kind, EventKind::Send { len: 5, dest: None });
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Criterion benchmark E3: filter selection/reduction throughput as a
-//! function of the template set (§3.4).
+//! function of the template set (§3.4), plus the reassembly hot path
+//! under corruption (the zero-copy cursor engine vs the seed's
+//! shift-the-buffer reassembly).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dpm_filter::{Descriptions, FilterEngine, Rules};
-use dpm_meter::{trace_type, MeterBody, MeterHeader, MeterMsg, MeterSendMsg, SockName};
+use dpm_meter::{trace_type, MeterBody, MeterHeader, MeterMsg, MeterSendMsg, SockName, HEADER_LEN};
 use std::hint::black_box;
 
 fn wire_chunk(records: usize) -> Vec<u8> {
@@ -28,6 +30,104 @@ fn wire_chunk(records: usize) -> Vec<u8> {
         msg.encode_into(&mut wire);
     }
     wire
+}
+
+/// A stream with a run of unframeable bytes before every record —
+/// the "corrupt meter connection" worst case that drives the
+/// resynchronization path.
+fn garbage_wire(records: usize, run: usize) -> Vec<u8> {
+    let clean = wire_chunk(1);
+    let mut wire = Vec::new();
+    for _ in 0..records {
+        wire.extend(std::iter::repeat_n(0u8, run));
+        wire.extend_from_slice(&clean);
+    }
+    wire
+}
+
+/// The seed's reassembly loop, reproduced verbatim as a baseline:
+/// `Vec::remove(0)` per garbage byte and `drain().collect()` per
+/// record (one heap allocation each). Selection/reduction is the same
+/// `process_record`, so the comparison isolates the reassembly path.
+struct ShiftingReassembly {
+    engine: FilterEngine,
+    buf: Vec<u8>,
+}
+
+impl ShiftingReassembly {
+    fn feed(&mut self, data: &[u8]) -> usize {
+        self.buf.extend_from_slice(data);
+        let mut kept = 0;
+        loop {
+            if self.buf.len() < HEADER_LEN {
+                break;
+            }
+            let size =
+                u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+            if !(HEADER_LEN..=4096).contains(&size) {
+                self.buf.remove(0);
+                continue;
+            }
+            if self.buf.len() < size {
+                break;
+            }
+            let record: Vec<u8> = self.buf.drain(..size).collect();
+            if self.engine.process_record(&record).is_some() {
+                kept += 1;
+            }
+        }
+        kept
+    }
+}
+
+fn bench_garbage(c: &mut Criterion) {
+    let records = 256;
+    // One-third garbage by volume, in 32-byte runs.
+    let wire = garbage_wire(records, 32);
+    let mut g = c.benchmark_group("filter_reassembly");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::from_parameter("garbage_heavy_cursor"),
+        &wire,
+        |b, wire| {
+            let mut engine = FilterEngine::standard();
+            b.iter(|| {
+                let mut kept = 0usize;
+                engine.feed_into(wire, &mut |_rec| kept += 1);
+                black_box(kept)
+            });
+        },
+    );
+    g.bench_with_input(
+        BenchmarkId::from_parameter("garbage_heavy_seed_shift"),
+        &wire,
+        |b, wire| {
+            let mut seed = ShiftingReassembly {
+                engine: FilterEngine::standard(),
+                buf: Vec::new(),
+            };
+            b.iter(|| black_box(seed.feed(wire)));
+        },
+    );
+    // Clean stream, delivered in socket-sized chunks: the steady
+    // state where the cursor walk touches each byte exactly once.
+    let clean = wire_chunk(records);
+    g.throughput(Throughput::Bytes(clean.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::from_parameter("clean_chunked_cursor"),
+        &clean,
+        |b, clean| {
+            let mut engine = FilterEngine::standard();
+            b.iter(|| {
+                let mut kept = 0usize;
+                for chunk in clean.chunks(1024) {
+                    engine.feed_into(chunk, &mut |_rec| kept += 1);
+                }
+                black_box(kept)
+            });
+        },
+    );
+    g.finish();
 }
 
 fn bench_filter(c: &mut Criterion) {
@@ -59,5 +159,5 @@ fn bench_filter(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_filter);
+criterion_group!(benches, bench_filter, bench_garbage);
 criterion_main!(benches);

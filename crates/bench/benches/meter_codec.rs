@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use dpm_meter::{
-    trace_type, MeterAccept, MeterBody, MeterHeader, MeterMsg, MeterSendMsg, SockName,
+    trace_type, MeterAccept, MeterBody, MeterDecoder, MeterHeader, MeterMsg, MeterSendMsg, SockName,
 };
 use std::hint::black_box;
 
@@ -79,6 +79,17 @@ fn bench_codec(c: &mut Criterion) {
             |wire| MeterMsg::decode_all(&wire).expect("decode all"),
             BatchSize::SmallInput,
         );
+    });
+    // The borrowing path: walk the same batch as `MeterRecord` views
+    // without materializing owned `MeterMsg` values.
+    g.bench_function("scan_batch_of_8_borrowed", |b| {
+        b.iter(|| {
+            let mut bytes = 0usize;
+            for rec in MeterDecoder::new(black_box(&batch)) {
+                bytes += rec.expect("valid record").len();
+            }
+            black_box(bytes)
+        });
     });
     g.finish();
 }

@@ -11,10 +11,8 @@
 
 use dpm_bench::{run_metered, synthetic_log, two_machine_cluster, U};
 use dpm_filter::{Descriptions, FilterEngine, Rules};
-use dpm_meter::{
-    trace_type, MeterBody, MeterFlags, MeterHeader, MeterMsg, MeterSendMsg, SockName,
-};
-use dpm_meterd::{read_frame, rpc_call, start_meterdaemons, Reply, Request};
+use dpm_meter::{trace_type, MeterBody, MeterFlags, MeterHeader, MeterMsg, MeterSendMsg, SockName};
+use dpm_meterd::{read_frame, rpc_call, start_meterdaemons, Reply, Request, RpcStatus};
 use dpm_simnet::NetConfig;
 use dpm_simos::{BindTo, Cluster, Domain, SockType, SysResult};
 use std::time::Instant;
@@ -40,18 +38,104 @@ fn appendix_a_table() {
     use dpm_meter::*;
     let name = Some(SockName::inet(1, 2));
     let msgs: Vec<(&str, MeterBody)> = vec![
-        ("send", MeterBody::Send(MeterSendMsg { pid: 1, pc: 1, sock: 1, msg_length: 1, dest_name: name.clone() })),
-        ("receivecall", MeterBody::RecvCall(MeterRecvCall { pid: 1, pc: 1, sock: 1 })),
-        ("receive", MeterBody::Recv(MeterRecvMsg { pid: 1, pc: 1, sock: 1, msg_length: 1, source_name: name.clone() })),
-        ("socket", MeterBody::SockCrt(MeterSockCrt { pid: 1, pc: 1, sock: 1, domain: 2, sock_type: 1, protocol: 0 })),
-        ("dup", MeterBody::Dup(MeterDup { pid: 1, pc: 1, sock: 1, new_sock: 1 })),
-        ("destsocket", MeterBody::DestSock(MeterDestSock { pid: 1, pc: 1, sock: 1 })),
-        ("fork", MeterBody::Fork(MeterFork { pid: 1, pc: 1, new_pid: 2 })),
-        ("accept", MeterBody::Accept(MeterAccept { pid: 1, pc: 1, sock: 1, new_sock: 2, sock_name: name.clone(), peer_name: name.clone() })),
-        ("connect", MeterBody::Connect(MeterConnect { pid: 1, pc: 1, sock: 1, sock_name: name.clone(), peer_name: name })),
-        ("termproc", MeterBody::TermProc(MeterTermProc { pid: 1, pc: 1, reason: TermReason::Normal })),
+        (
+            "send",
+            MeterBody::Send(MeterSendMsg {
+                pid: 1,
+                pc: 1,
+                sock: 1,
+                msg_length: 1,
+                dest_name: name.clone(),
+            }),
+        ),
+        (
+            "receivecall",
+            MeterBody::RecvCall(MeterRecvCall {
+                pid: 1,
+                pc: 1,
+                sock: 1,
+            }),
+        ),
+        (
+            "receive",
+            MeterBody::Recv(MeterRecvMsg {
+                pid: 1,
+                pc: 1,
+                sock: 1,
+                msg_length: 1,
+                source_name: name.clone(),
+            }),
+        ),
+        (
+            "socket",
+            MeterBody::SockCrt(MeterSockCrt {
+                pid: 1,
+                pc: 1,
+                sock: 1,
+                domain: 2,
+                sock_type: 1,
+                protocol: 0,
+            }),
+        ),
+        (
+            "dup",
+            MeterBody::Dup(MeterDup {
+                pid: 1,
+                pc: 1,
+                sock: 1,
+                new_sock: 1,
+            }),
+        ),
+        (
+            "destsocket",
+            MeterBody::DestSock(MeterDestSock {
+                pid: 1,
+                pc: 1,
+                sock: 1,
+            }),
+        ),
+        (
+            "fork",
+            MeterBody::Fork(MeterFork {
+                pid: 1,
+                pc: 1,
+                new_pid: 2,
+            }),
+        ),
+        (
+            "accept",
+            MeterBody::Accept(MeterAccept {
+                pid: 1,
+                pc: 1,
+                sock: 1,
+                new_sock: 2,
+                sock_name: name.clone(),
+                peer_name: name.clone(),
+            }),
+        ),
+        (
+            "connect",
+            MeterBody::Connect(MeterConnect {
+                pid: 1,
+                pc: 1,
+                sock: 1,
+                sock_name: name.clone(),
+                peer_name: name,
+            }),
+        ),
+        (
+            "termproc",
+            MeterBody::TermProc(MeterTermProc {
+                pid: 1,
+                pc: 1,
+                reason: TermReason::Normal,
+            }),
+        ),
     ];
-    println!("{:<14} {:>6} {:>6} {:>6}", "event", "type", "header", "total");
+    println!(
+        "{:<14} {:>6} {:>6} {:>6}",
+        "event", "type", "header", "total"
+    );
     for (n, body) in msgs {
         let msg = MeterMsg {
             header: MeterHeader::default(),
@@ -84,7 +168,10 @@ fn e1_metering_overhead() {
     );
     for (label, flags) in [
         ("send only", MeterFlags::SEND),
-        ("send+receive", MeterFlags::SEND | MeterFlags::RECEIVE | MeterFlags::RECEIVECALL),
+        (
+            "send+receive",
+            MeterFlags::SEND | MeterFlags::RECEIVE | MeterFlags::RECEIVECALL,
+        ),
         ("all", MeterFlags::ALL),
         ("all + immediate", MeterFlags::ALL | MeterFlags::IMMEDIATE),
     ] {
@@ -149,7 +236,10 @@ fn e3_filter_throughput() {
     let rule_sets: Vec<(&str, String)> = vec![
         ("no rules", String::new()),
         ("1 simple", "machine=3, cpuTime<10000\n".into()),
-        ("4 rules", "machine=9\nmachine=8\ntype=2\nmachine=3, type=1, pid=1*, size>=512\n".into()),
+        (
+            "4 rules",
+            "machine=9\nmachine=8\ntype=2\nmachine=3, type=1, pid=1*, size>=512\n".into(),
+        ),
         (
             "16 rules",
             (0..15)
@@ -206,7 +296,13 @@ fn e4_daemon_rpc() {
             while let Some(frame) = read_frame(&p, conn)? {
                 let req = Request::decode(&frame).map_err(|_| dpm_simos::SysError::Einval)?;
                 let _ = req;
-                p.write(conn, &Reply::Ack { status: 0 }.encode())?;
+                p.write(
+                    conn,
+                    &Reply::Ack {
+                        status: RpcStatus::Ok,
+                    }
+                    .encode(),
+                )?;
             }
             Ok(())
         })
@@ -220,17 +316,30 @@ fn e4_daemon_rpc() {
             // Temporary connection per exchange (the daemon protocol).
             let t0 = p.time_ms();
             for _ in 0..exchanges {
-                let _ = rpc_call(&p, "remote", &Request::GetFile { path: "/none".into() })?;
+                let _ = rpc_call(
+                    &p,
+                    "remote",
+                    &Request::GetFile {
+                        path: "/none".into(),
+                    },
+                )?;
             }
             let temp_ms = (p.time_ms() - t0) as u64;
-            out.lock().push(("temporary (per exchange)".into(), temp_ms));
+            out.lock()
+                .push(("temporary (per exchange)".into(), temp_ms));
 
             // Persistent connection baseline.
             let s = p.socket(Domain::Inet, SockType::Stream)?;
             p.connect_host(s, "remote", 7000)?;
             let t0 = p.time_ms();
             for _ in 0..exchanges {
-                p.write(s, &Request::GetFile { path: "/none".into() }.encode())?;
+                p.write(
+                    s,
+                    &Request::GetFile {
+                        path: "/none".into(),
+                    }
+                    .encode(),
+                )?;
                 let _ = read_frame(&p, s)?;
             }
             let pers_ms = (p.time_ms() - t0) as u64;
@@ -311,7 +420,10 @@ fn e5_ipc() {
                     _ => {
                         let s = p.socket(Domain::Inet, SockType::Datagram)?;
                         let host = p.cluster().resolve_host("mon")?;
-                        let dest = SockName::Inet { host: host.0, port: 7100 };
+                        let dest = SockName::Inet {
+                            host: host.0,
+                            port: 7100,
+                        };
                         let payload = vec![1u8; size];
                         for _ in 0..msgs {
                             p.sendto(s, &payload, &dest)?;
@@ -383,7 +495,11 @@ fn e7_trace_volume() {
     for m in &r.messages {
         m.encode_into(&mut wire);
     }
-    println!("raw meter stream: {} records, {} bytes", r.messages.len(), wire.len());
+    println!(
+        "raw meter stream: {} records, {} bytes",
+        r.messages.len(),
+        wire.len()
+    );
     println!("{:<34} {:>8} {:>12}", "template", "kept", "log_bytes");
     for (label, rules) in [
         ("keep everything", ""),

@@ -10,11 +10,9 @@
 //! analysis) are additionally benchmarked in real time with Criterion
 //! under `benches/`.
 
-use dpm_meter::{MeterFlags, MeterMsg};
+use dpm_meter::{MeterDecoder, MeterFlags, MeterMsg};
 use dpm_simnet::NetConfig;
-use dpm_simos::{
-    BindTo, Cluster, Domain, Pid, Proc, Sig, SockName, SockType, SysResult, Uid,
-};
+use dpm_simos::{BindTo, Cluster, Domain, Pid, Proc, Sig, SockName, SockType, SysResult, Uid};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -149,7 +147,12 @@ pub struct RunOutcome {
 
 /// Runs the standard workload under the given meter flags and buffer
 /// threshold, measuring virtual cost and collecting the trace.
-pub fn run_metered(flags: MeterFlags, meter_buffer: u32, rounds: u32, msg_len: usize) -> RunOutcome {
+pub fn run_metered(
+    flags: MeterFlags,
+    meter_buffer: u32,
+    rounds: u32,
+    msg_len: usize,
+) -> RunOutcome {
     let cluster = two_machine_cluster(NetConfig::ideal(), 42, meter_buffer);
     let metered = flags.meters_anything() || flags.contains(MeterFlags::IMMEDIATE);
     let (collector, buf) = if metered {
@@ -181,7 +184,13 @@ pub fn run_metered(flags: MeterFlags, meter_buffer: u32, rounds: u32, msg_len: u
     let w1 = cluster.wire_stats().snapshot().since(&w0);
     let bytes = buf.lock().clone();
     cluster.shutdown();
-    let messages = MeterMsg::decode_all(&bytes).unwrap_or_default();
+    // Streaming decode: iterate the capture's valid prefix without
+    // re-slicing per frame; a torn tail (the collector can be killed
+    // mid-record) is simply ignored instead of voiding the capture.
+    let messages: Vec<MeterMsg> = MeterDecoder::new(&bytes)
+        .map_while(Result::ok)
+        .filter_map(|rec| rec.to_msg().ok())
+        .collect();
     RunOutcome {
         cpu_us,
         wall_us,

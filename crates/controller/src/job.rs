@@ -235,9 +235,7 @@ mod tests {
     #[test]
     fn job_flag_union_and_reset() {
         let mut j = Job::new("foo", "f1");
-        let f = j
-            .apply_flag_args(["send", "receive", "fork"])
-            .unwrap();
+        let f = j.apply_flag_args(["send", "receive", "fork"]).unwrap();
         assert!(f.contains(MeterFlags::SEND));
         // Union with a second setflags.
         let f = j.apply_flag_args(["accept"]).unwrap();

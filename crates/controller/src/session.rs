@@ -15,10 +15,8 @@
 
 use crate::job::{Job, ManagedProc, ProcAction, ProcState};
 use dpm_filter::{Descriptions, Rules};
-use dpm_meterd::{rpc_call, read_frame, status, Reply, Request};
-use dpm_simos::{
-    BindTo, Cluster, Domain, Pid, Proc, SockType, SysError, SysResult, Uid,
-};
+use dpm_meterd::{read_frame, rpc_call, Reply, Request, RpcStatus};
+use dpm_simos::{BindTo, Cluster, Domain, Pid, Proc, SockType, SysError, SysResult, Uid};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
@@ -336,7 +334,7 @@ impl Controller {
 
     fn cmd_help(&mut self) {
         self.emit("Commands:");
-        self.emit("  filter [<name> [<machine> [<filterfile> [<descriptions> [<templates>]]]]]");
+        self.emit("  filter [<name> [<machine> [<filterfile> [<descriptions> [<templates> [<shards>]]]]]]");
         self.emit("  newjob <jobname> [<filtername>]");
         self.emit("  addprocess <jobname> <machine> <processfile> [<parms ...>] [< <inputfile>]");
         self.emit("  acquire <jobname> <machine> <process identifier>");
@@ -361,7 +359,12 @@ impl Controller {
             let lines: Vec<String> = self
                 .filters
                 .iter()
-                .map(|f| format!("{}  pid {}  machine {}  port {}", f.name, f.pid, f.machine, f.port))
+                .map(|f| {
+                    format!(
+                        "{}  pid {}  machine {}  port {}",
+                        f.name, f.pid, f.machine, f.port
+                    )
+                })
                 .collect();
             for l in lines {
                 self.emit(&l);
@@ -373,10 +376,28 @@ impl Controller {
             self.emit(&format!("filter '{name}' already exists"));
             return;
         }
-        let machine = args.get(1).map_or(self.machine.clone(), |s| (*s).to_owned());
-        let filterfile = args.get(2).map_or("/bin/filter".to_owned(), |s| (*s).to_owned());
-        let descriptions = args.get(3).map_or("descriptions".to_owned(), |s| (*s).to_owned());
-        let templates = args.get(4).map_or("templates".to_owned(), |s| (*s).to_owned());
+        let machine = args
+            .get(1)
+            .map_or(self.machine.clone(), |s| (*s).to_owned());
+        let filterfile = args
+            .get(2)
+            .map_or("/bin/filter".to_owned(), |s| (*s).to_owned());
+        let descriptions = args
+            .get(3)
+            .map_or("descriptions".to_owned(), |s| (*s).to_owned());
+        let templates = args
+            .get(4)
+            .map_or("templates".to_owned(), |s| (*s).to_owned());
+        let shards = match args.get(5) {
+            Some(s) => match s.parse::<u32>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    self.emit(&format!("bad shard count '{s}'"));
+                    return;
+                }
+            },
+            None => 1,
+        };
         if self.cluster.machine(&machine).is_none() {
             self.emit(&format!("unknown machine '{machine}'"));
             return;
@@ -398,11 +419,14 @@ impl Controller {
             return;
         }
         for (path, data) in [(&descriptions, desc_data), (&templates, tmpl_data)] {
-            let r = self.rpc(&machine, &Request::WriteFile {
-                path: path.clone(),
-                data,
-            });
-            if r.map(|r| r.status()) != Ok(status::OK) {
+            let r = self.rpc(
+                &machine,
+                &Request::WriteFile {
+                    path: path.clone(),
+                    data,
+                },
+            );
+            if r.map(|r| r.status()) != Ok(RpcStatus::Ok) {
                 self.emit(&format!("cannot install '{path}' on {machine}"));
                 return;
             }
@@ -410,15 +434,22 @@ impl Controller {
         let port = self.next_filter_port;
         self.next_filter_port += 1;
         let logfile = format!("/usr/tmp/log.{name}");
-        let reply = self.rpc(&machine, &Request::CreateFilter {
-            filterfile,
-            port,
-            logfile: logfile.clone(),
-            descriptions,
-            templates,
-        });
+        let reply = self.rpc(
+            &machine,
+            &Request::CreateFilter {
+                filterfile,
+                port,
+                logfile: logfile.clone(),
+                descriptions,
+                templates,
+                shards,
+            },
+        );
         match reply {
-            Ok(Reply::Create { pid, status: 0 }) => {
+            Ok(Reply::Create {
+                pid,
+                status: RpcStatus::Ok,
+            }) => {
                 self.filters.push(FilterInfo {
                     name: name.clone(),
                     machine,
@@ -428,7 +459,7 @@ impl Controller {
                 });
                 self.emit(&format!("filter '{name}' ... created: identifier= {pid}"));
             }
-            Ok(r) => self.emit(&format!("filter creation failed: status {}", r.status())),
+            Ok(r) => self.emit(&format!("filter creation failed: {}", r.status())),
             Err(e) => self.emit(&format!("filter creation failed: {e}")),
         }
     }
@@ -460,7 +491,8 @@ impl Controller {
                 }
             },
         };
-        self.jobs.insert((*name).to_owned(), Job::new(*name, filter));
+        self.jobs
+            .insert((*name).to_owned(), Job::new(*name, filter));
         self.job_order.push((*name).to_owned());
     }
 
@@ -513,18 +545,24 @@ impl Controller {
         for path in &needed {
             let remote_has = matches!(
                 self.rpc(&machine, &Request::GetFile { path: path.clone() }),
-                Ok(Reply::File { status: 0, .. })
+                Ok(Reply::File {
+                    status: RpcStatus::Ok,
+                    ..
+                })
             );
             if remote_has {
                 continue;
             }
             match self.proc.machine().fs().read(path) {
                 Some(data) => {
-                    let r = self.rpc(&machine, &Request::WriteFile {
-                        path: path.clone(),
-                        data,
-                    });
-                    if r.map(|r| r.status()) != Ok(status::OK) {
+                    let r = self.rpc(
+                        &machine,
+                        &Request::WriteFile {
+                            path: path.clone(),
+                            data,
+                        },
+                    );
+                    if r.map(|r| r.status()) != Ok(RpcStatus::Ok) {
                         self.emit(&format!("cannot copy '{path}' to {machine}"));
                         return;
                     }
@@ -537,19 +575,25 @@ impl Controller {
         }
         let control_host = self.machine.clone();
         let control_port = self.control_port;
-        let reply = self.rpc(&machine, &Request::Create {
-            filename: file.clone(),
-            params,
-            filter_port,
-            filter_host,
-            meter_flags: flags,
-            control_port,
-            control_host,
-            redirect_io: true,
-            stdin_file,
-        });
+        let reply = self.rpc(
+            &machine,
+            &Request::Create {
+                filename: file.clone(),
+                params,
+                filter_port,
+                filter_host,
+                meter_flags: flags,
+                control_port,
+                control_host,
+                redirect_io: true,
+                stdin_file,
+            },
+        );
         match reply {
-            Ok(Reply::Create { pid, status: 0 }) => {
+            Ok(Reply::Create {
+                pid,
+                status: RpcStatus::Ok,
+            }) => {
                 let display = file.rsplit('/').next().unwrap_or(&file).to_owned();
                 let job = self.jobs.get_mut(&job_name).expect("job exists");
                 job.procs.push(ManagedProc {
@@ -558,9 +602,11 @@ impl Controller {
                     pid,
                     state: ProcState::New,
                 });
-                self.emit(&format!("process '{display}' ... created: identifier= {pid}"));
+                self.emit(&format!(
+                    "process '{display}' ... created: identifier= {pid}"
+                ));
             }
-            Ok(r) => self.emit(&format!("process creation failed: status {}", r.status())),
+            Ok(r) => self.emit(&format!("process creation failed: {}", r.status())),
             Err(e) => self.emit(&format!("process creation failed: {e}")),
         }
     }
@@ -592,16 +638,22 @@ impl Controller {
         };
         let control_host = self.machine.clone();
         let control_port = self.control_port;
-        let reply = self.rpc(&machine, &Request::Acquire {
-            pid: Pid(pid_num),
-            filter_port,
-            filter_host,
-            meter_flags: flags,
-            control_port,
-            control_host,
-        });
+        let reply = self.rpc(
+            &machine,
+            &Request::Acquire {
+                pid: Pid(pid_num),
+                filter_port,
+                filter_host,
+                meter_flags: flags,
+                control_port,
+                control_host,
+            },
+        );
         match reply {
-            Ok(Reply::Create { pid, status: 0 }) => {
+            Ok(Reply::Create {
+                pid,
+                status: RpcStatus::Ok,
+            }) => {
                 let job = self.jobs.get_mut(&job_name).expect("job exists");
                 job.procs.push(ManagedProc {
                     name: format!("pid{pid}"),
@@ -611,7 +663,7 @@ impl Controller {
                 });
                 self.emit(&format!("process {pid} ... acquired"));
             }
-            Ok(r) => self.emit(&format!("acquire failed: status {}", r.status())),
+            Ok(r) => self.emit(&format!("acquire failed: {}", r.status())),
             Err(e) => self.emit(&format!("acquire failed: {e}")),
         }
     }
@@ -649,7 +701,7 @@ impl Controller {
             }
             let r = self.rpc(&machine, &Request::SetFlags { pid, flags });
             match r {
-                Ok(r) if r.status() == status::OK => {
+                Ok(r) if r.status().is_ok() => {
                     self.emit(&format!("Process '{name}' : Flags set"));
                 }
                 _ => self.emit(&format!("Process '{name}' : setflags failed")),
@@ -672,7 +724,11 @@ impl Controller {
             self.emit(&format!("no job named '{job_name}'"));
             return;
         }
-        let action = if start { ProcAction::Start } else { ProcAction::Stop };
+        let action = if start {
+            ProcAction::Start
+        } else {
+            ProcAction::Stop
+        };
         let targets: Vec<(String, String, Pid, ProcState)> = self.jobs[&job_name]
             .procs
             .iter()
@@ -686,7 +742,7 @@ impl Controller {
                     } else {
                         Request::Stop { pid }
                     };
-                    let ok = self.rpc(&machine, &req).map(|r| r.status()) == Ok(status::OK);
+                    let ok = self.rpc(&machine, &req).map(|r| r.status()) == Ok(RpcStatus::Ok);
                     if ok {
                         if let Some(p) = self
                             .jobs
@@ -847,8 +903,16 @@ impl Controller {
             self.emit(&format!("no filter named '{fname}'"));
             return;
         };
-        match self.rpc(&f.machine, &Request::GetFile { path: f.logfile.clone() }) {
-            Ok(Reply::File { status: 0, data }) => {
+        match self.rpc(
+            &f.machine,
+            &Request::GetFile {
+                path: f.logfile.clone(),
+            },
+        ) {
+            Ok(Reply::File {
+                status: RpcStatus::Ok,
+                data,
+            }) => {
                 self.proc.machine().fs().write(dest, data);
             }
             _ => self.emit(&format!("cannot retrieve log of filter '{fname}'")),
@@ -902,11 +966,14 @@ impl Controller {
             self.emit("no such process");
             return;
         };
-        let r = self.rpc(&machine, &Request::SendInput {
-            pid,
-            data: text.into_bytes(),
-        });
-        if r.map(|r| r.status()) != Ok(status::OK) {
+        let r = self.rpc(
+            &machine,
+            &Request::SendInput {
+                pid,
+                data: text.into_bytes(),
+            },
+        );
+        if r.map(|r| r.status()) != Ok(RpcStatus::Ok) {
             self.emit("input failed");
         }
     }

@@ -117,8 +117,9 @@ const HEADER_LAYOUT: &[(&str, usize, usize)] = &[
     ("traceType", 20, 4),
 ];
 
-/// Length of the standard header on the wire.
-pub const HEADER_LEN: usize = 24;
+/// Length of the standard header on the wire (re-exported from the
+/// meter crate so the two layouts can never drift apart).
+pub use dpm_meter::HEADER_LEN;
 
 impl Descriptions {
     /// Parses a descriptions file.
@@ -336,9 +337,15 @@ mod tests {
         assert_eq!(e.name, "send");
         assert_eq!(e.fields.len(), 6);
         assert_eq!(e.fields[2].name, "sock");
-        assert_eq!((e.fields[2].offset, e.fields[2].len, e.fields[2].base), (8, 4, 10));
+        assert_eq!(
+            (e.fields[2].offset, e.fields[2].len, e.fields[2].base),
+            (8, 4, 10)
+        );
         assert_eq!(e.fields[5].name, "destName");
-        assert_eq!((e.fields[5].offset, e.fields[5].len, e.fields[5].base), (20, 16, 16));
+        assert_eq!(
+            (e.fields[5].offset, e.fields[5].len, e.fields[5].base),
+            (20, 16, 16)
+        );
     }
 
     #[test]
@@ -375,7 +382,17 @@ mod tests {
         let names: Vec<&str> = fields.iter().map(|(n, _)| n.as_str()).collect();
         assert_eq!(
             names,
-            vec!["machine", "cpuTime", "procTime", "traceType", "pid", "pc", "sock", "msgLength", "destName"]
+            vec![
+                "machine",
+                "cpuTime",
+                "procTime",
+                "traceType",
+                "pid",
+                "pc",
+                "sock",
+                "msgLength",
+                "destName"
+            ]
         );
     }
 

@@ -5,13 +5,34 @@
 //! received. It uses event record descriptions and selection rules to
 //! specify the criteria for data selection and reduction." (§3.4)
 //!
-//! [`FilterEngine`] is the pure core — bytes in, log lines out — used
-//! both by the standard filter *process* (see [`crate::program`]) and
-//! directly by unit tests and benchmarks.
+//! [`FilterEngine`] is the pure core — bytes in, log records out —
+//! used by the standard filter *process* (see [`crate::program`]), by
+//! the sharded pipeline (see [`crate::shard`]), and directly by unit
+//! tests and benchmarks.
+//!
+//! # The zero-copy hot path
+//!
+//! Meter connections are byte streams, so records arrive split and
+//! concatenated arbitrarily. The engine reassembles them with a cursor
+//! walk over the *caller's* buffer: a record that arrives whole inside
+//! one `feed_into` chunk is framed in place and handed to the
+//! selection rules as a borrowed [`RecordView`] — no copy, no
+//! allocation. Only a partial tail (a frame straddling a chunk
+//! boundary) is copied into the engine's small carry buffer, and
+//! resynchronization after stream corruption advances a cursor rather
+//! than shifting bytes (the old implementation's `remove(0)` made a
+//! corrupt stream cost O(n²)). The carry buffer is compacted at most
+//! once per `feed_into` call, so every input byte is moved O(1) times
+//! in the worst case and 0 times in the steady state.
 
-use crate::desc::{Descriptions, HEADER_LEN};
+use crate::desc::HEADER_LEN;
 use crate::log::LogRecord;
 use crate::rules::{Rules, Verdict};
+use dpm_meter::{DecodeError, MeterMsg, MAX_METER_MSG};
+use std::mem;
+use std::ops::Deref;
+
+use crate::desc::Descriptions;
 
 /// Counters the filter keeps about its own work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,8 +47,85 @@ pub struct FilterStats {
     pub garbage_bytes: u64,
 }
 
+impl FilterStats {
+    /// Component-wise sum, used when merging per-shard statistics.
+    pub fn merge(&self, other: &FilterStats) -> FilterStats {
+        FilterStats {
+            seen: self.seen + other.seen,
+            kept: self.kept + other.kept,
+            rejected: self.rejected + other.rejected,
+            garbage_bytes: self.garbage_bytes + other.garbage_bytes,
+        }
+    }
+}
+
+/// One complete, size-validated event record borrowed from a stream
+/// buffer.
+///
+/// This is the currency of the filter hot path: reassembly frames
+/// records in place and hands them to the rules without copying.
+/// `RecordView` derefs to `[u8]`, so everything that accepts a raw
+/// record slice (e.g. [`Rules::verdict`]) accepts a view.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordView<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> RecordView<'a> {
+    /// Wraps a complete record. The slice must hold at least a header;
+    /// the engine's reassembly guarantees this, hand-built callers get
+    /// a debug assertion.
+    pub fn new(bytes: &'a [u8]) -> RecordView<'a> {
+        debug_assert!(bytes.len() >= HEADER_LEN, "record shorter than header");
+        RecordView { bytes }
+    }
+
+    /// The record's raw wire bytes (header + body).
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Total record length in bytes.
+    #[allow(clippy::len_without_is_empty)] // never empty: >= HEADER_LEN
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The header's machine field, read in place.
+    pub fn machine(&self) -> u16 {
+        u16::from_le_bytes([self.bytes[4], self.bytes[5]])
+    }
+
+    /// The header's trace-type field, read in place.
+    pub fn trace_type(&self) -> u32 {
+        u32::from_le_bytes([
+            self.bytes[20],
+            self.bytes[21],
+            self.bytes[22],
+            self.bytes[23],
+        ])
+    }
+
+    /// Decodes the full message, allocating owned bodies.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`] the underlying decoder reports.
+    pub fn to_msg(&self) -> Result<MeterMsg, DecodeError> {
+        MeterMsg::decode(self.bytes).map(|(msg, _)| msg)
+    }
+}
+
+impl Deref for RecordView<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes
+    }
+}
+
 /// A streaming filter: feed it meter-connection bytes, collect log
-/// lines.
+/// records.
 ///
 /// # Example
 ///
@@ -49,11 +147,24 @@ pub struct FilterStats {
 /// assert!(lines[0].starts_with("event=fork"));
 /// # Ok::<(), dpm_filter::RuleParseError>(())
 /// ```
+///
+/// For streaming consumers, [`FilterEngine::feed_into`] delivers
+/// [`LogRecord`]s to a sink closure instead of materializing a
+/// `Vec<String>` per chunk:
+///
+/// ```
+/// # use dpm_filter::{FilterEngine, LogRecord};
+/// # let mut engine = FilterEngine::standard();
+/// # let data: &[u8] = &[];
+/// let mut kept = 0u32;
+/// engine.feed_into(data, &mut |_record: LogRecord| kept += 1);
+/// ```
 #[derive(Debug)]
 pub struct FilterEngine {
     desc: Descriptions,
     rules: Rules,
-    buf: Vec<u8>,
+    /// Carry buffer holding only a partial tail between chunks.
+    pending: Vec<u8>,
     stats: FilterStats,
 }
 
@@ -63,7 +174,7 @@ impl FilterEngine {
         FilterEngine {
             desc,
             rules,
-            buf: Vec::new(),
+            pending: Vec::new(),
             stats: FilterStats::default(),
         }
     }
@@ -81,68 +192,167 @@ impl FilterEngine {
 
     /// Bytes buffered awaiting a complete record.
     pub fn pending_bytes(&self) -> usize {
-        self.buf.len()
+        self.pending.len()
+    }
+
+    /// Feeds a chunk of meter-connection bytes, delivering each kept
+    /// record to `sink`.
+    ///
+    /// This is the streaming core of the filter pipeline. Records
+    /// wholly contained in `data` are framed and processed in place;
+    /// only a trailing partial frame is copied into the engine. In the
+    /// steady state (no corruption, records completed by each chunk)
+    /// the per-record path performs no heap allocation for rejected
+    /// records; kept records allocate only their [`LogRecord`].
+    pub fn feed_into<F>(&mut self, data: &[u8], sink: &mut F)
+    where
+        F: FnMut(LogRecord),
+    {
+        let data = self.drain_carry(data, sink);
+        let Some(mut data) = data else { return };
+
+        // Cursor walk over the caller's buffer: zero-copy framing.
+        let mut off = 0usize;
+        while data.len() - off >= HEADER_LEN {
+            let size = read_size(&data[off..]);
+            if !(HEADER_LEN..=MAX_METER_MSG).contains(&size) {
+                // Corrupt stream: advance the cursor one byte. No
+                // bytes move; this is O(1) per garbage byte.
+                off += 1;
+                self.stats.garbage_bytes += 1;
+                continue;
+            }
+            if data.len() - off < size {
+                break; // partial tail
+            }
+            let view = RecordView::new(&data[off..off + size]);
+            self.process_view(view, sink);
+            off += size;
+        }
+        data = &data[off..];
+        if !data.is_empty() {
+            // Only the straddling tail is copied (at most one frame).
+            self.pending.extend_from_slice(data);
+        }
+    }
+
+    /// Completes (or resynchronizes past) any frame straddling the
+    /// previous chunk. Returns the unconsumed remainder of `data`, or
+    /// `None` when the whole chunk was absorbed into the carry buffer.
+    fn drain_carry<'a, F>(&mut self, mut data: &'a [u8], sink: &mut F) -> Option<&'a [u8]>
+    where
+        F: FnMut(LogRecord),
+    {
+        if self.pending.is_empty() {
+            return Some(data);
+        }
+        // Take the carry buffer so completed frames can be processed
+        // (`process_view` borrows `self` mutably) without aliasing.
+        let mut carry = mem::take(&mut self.pending);
+        let mut pos = 0usize; // resync/consume cursor — no shifting
+        let remainder = loop {
+            if carry.len() - pos < HEADER_LEN {
+                // Top up with just enough to read a size field.
+                let need = HEADER_LEN - (carry.len() - pos);
+                let take = need.min(data.len());
+                carry.extend_from_slice(&data[..take]);
+                data = &data[take..];
+                if carry.len() - pos < HEADER_LEN {
+                    break None; // input exhausted; still partial
+                }
+            }
+            let size = read_size(&carry[pos..]);
+            if !(HEADER_LEN..=MAX_METER_MSG).contains(&size) {
+                pos += 1;
+                self.stats.garbage_bytes += 1;
+                continue;
+            }
+            if carry.len() - pos < size {
+                // Top up with just enough to finish this frame.
+                let need = size - (carry.len() - pos);
+                let take = need.min(data.len());
+                carry.extend_from_slice(&data[..take]);
+                data = &data[take..];
+                if carry.len() - pos < size {
+                    break None; // input exhausted; still partial
+                }
+            }
+            let view = RecordView::new(&carry[pos..pos + size]);
+            self.process_view(view, sink);
+            pos += size;
+            if pos == carry.len() {
+                break Some(data); // carry drained; back to zero-copy
+            }
+        };
+        // Compact once per call: every carried byte moves O(1) times.
+        carry.drain(..pos);
+        if remainder.is_some() {
+            debug_assert!(carry.is_empty());
+            carry.clear();
+        }
+        self.pending = carry; // keeps its capacity for the next tail
+        remainder
     }
 
     /// Feeds a chunk of meter-connection bytes; returns the log lines
     /// for the records completed and kept by this chunk.
+    ///
+    /// Compatibility wrapper over [`FilterEngine::feed_into`] — it
+    /// materializes one `String` per kept record. Streaming consumers
+    /// should use `feed_into` directly.
     pub fn feed(&mut self, data: &[u8]) -> Vec<String> {
-        self.buf.extend_from_slice(data);
         let mut out = Vec::new();
-        loop {
-            if self.buf.len() < HEADER_LEN {
-                break;
-            }
-            let size = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]])
-                as usize;
-            if !(HEADER_LEN..=4096).contains(&size) {
-                // Corrupt stream: drop one byte and resynchronize.
-                self.buf.remove(0);
-                self.stats.garbage_bytes += 1;
-                continue;
-            }
-            if self.buf.len() < size {
-                break;
-            }
-            let record: Vec<u8> = self.buf.drain(..size).collect();
-            if let Some(line) = self.process_record(&record) {
-                out.push(line);
-            }
-        }
+        self.feed_into(data, &mut |rec: LogRecord| out.push(rec.to_string()));
         out
     }
 
-    /// Runs one complete record through selection and reduction.
-    pub fn process_record(&mut self, record: &[u8]) -> Option<String> {
+    /// Runs one complete, borrowed record through selection and
+    /// reduction, delivering it to `sink` if kept.
+    pub fn process_view<F>(&mut self, record: RecordView<'_>, sink: &mut F)
+    where
+        F: FnMut(LogRecord),
+    {
         self.stats.seen += 1;
-        match self.rules.verdict(&self.desc, record) {
+        match self.rules.verdict(&self.desc, record.bytes()) {
             Verdict::Reject => {
                 self.stats.rejected += 1;
-                None
             }
             Verdict::Keep { discard_fields } => {
-                match LogRecord::from_raw(&self.desc, record, &discard_fields) {
+                match LogRecord::from_raw(&self.desc, record.bytes(), &discard_fields) {
                     Some(rec) => {
                         self.stats.kept += 1;
-                        Some(rec.to_string())
+                        sink(rec);
                     }
                     None => {
                         // Unknown trace type: count it as garbage.
                         self.stats.garbage_bytes += record.len() as u64;
-                        None
                     }
                 }
             }
         }
     }
+
+    /// Runs one complete record through selection and reduction.
+    ///
+    /// Compatibility wrapper over [`FilterEngine::process_view`].
+    pub fn process_record(&mut self, record: &[u8]) -> Option<String> {
+        let mut out = None;
+        self.process_view(RecordView::new(record), &mut |rec: LogRecord| {
+            out = Some(rec.to_string());
+        });
+        out
+    }
+}
+
+/// Reads the header's little-endian size field at the front of `buf`.
+fn read_size(buf: &[u8]) -> usize {
+    u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dpm_meter::{
-        MeterBody, MeterFork, MeterHeader, MeterMsg, MeterSendMsg, SockName,
-    };
+    use dpm_meter::{MeterBody, MeterFork, MeterHeader, MeterMsg, MeterSendMsg, SockName};
 
     fn msg(machine: u16, body: MeterBody) -> Vec<u8> {
         MeterMsg {
@@ -192,10 +402,7 @@ mod tests {
 
     #[test]
     fn selection_rejects_and_counts() {
-        let mut e = FilterEngine::new(
-            Descriptions::standard(),
-            Rules::parse("machine=5").unwrap(),
-        );
+        let mut e = FilterEngine::new(Descriptions::standard(), Rules::parse("machine=5").unwrap());
         let mut wire = send(5, 1);
         wire.extend_from_slice(&send(6, 1));
         let lines = e.feed(&wire);
@@ -240,5 +447,108 @@ mod tests {
         assert_eq!(e.pending_bytes(), 10);
         let lines = e.feed(&wire[10..]);
         assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    fn feed_into_delivers_structured_records() {
+        let mut e = FilterEngine::standard();
+        let mut records = Vec::new();
+        e.feed_into(&send(3, 64), &mut |rec: LogRecord| records.push(rec));
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].event, "send");
+        assert_eq!(records[0].get_int("msgLength"), Some(64));
+        assert_eq!(records[0].get_int("machine"), Some(3));
+    }
+
+    #[test]
+    fn feed_matches_feed_into_exactly() {
+        let mut wire = send(0, 1);
+        wire.extend_from_slice(&[0xde, 0xad]); // mid-stream garbage
+        wire.extend_from_slice(&send(0, 2));
+        let mut a = FilterEngine::standard();
+        let mut b = FilterEngine::standard();
+        let lines = a.feed(&wire);
+        let mut sunk = Vec::new();
+        b.feed_into(&wire, &mut |rec: LogRecord| sunk.push(rec.to_string()));
+        assert_eq!(lines, sunk);
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn garbage_straddling_chunks_resyncs_like_one_chunk() {
+        let mut wire = send(0, 1);
+        wire.extend_from_slice(&[0x00; 40]); // zeros: size field of 0
+        wire.extend_from_slice(&send(0, 2));
+        wire.extend_from_slice(&[0xff; 3]); // trailing garbage < header
+        let mut whole = FilterEngine::standard();
+        let whole_lines = whole.feed(&wire);
+        for chunk_len in [1usize, 2, 3, 7, 24, 25] {
+            let mut split = FilterEngine::standard();
+            let mut lines = Vec::new();
+            for chunk in wire.chunks(chunk_len) {
+                lines.extend(split.feed(chunk));
+            }
+            assert_eq!(lines, whole_lines, "chunk size {chunk_len}");
+            assert_eq!(split.stats(), whole.stats(), "chunk size {chunk_len}");
+            assert_eq!(
+                split.pending_bytes(),
+                whole.pending_bytes(),
+                "chunk size {chunk_len}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_frame_is_garbage_not_a_stall() {
+        let mut e = FilterEngine::standard();
+        // A corrupted record whose size field claims 5000 bytes: the
+        // engine must resynchronize rather than wait for 5000 bytes.
+        // The filler is 0xff so no one-byte shift aliases into a
+        // plausible size field.
+        let mut wire = 5000u32.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0xff; 56]);
+        wire.extend_from_slice(&send(0, 6));
+        let lines = e.feed(&wire);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("msgLength=6"));
+        assert_eq!(e.stats().garbage_bytes, 60);
+        assert_eq!(e.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn record_view_reads_header_fields_in_place() {
+        let wire = send(9, 123);
+        let view = RecordView::new(&wire);
+        assert_eq!(view.machine(), 9);
+        assert_eq!(view.trace_type(), dpm_meter::trace_type::SEND);
+        assert_eq!(view.len(), wire.len());
+        assert_eq!(view.bytes().as_ptr(), wire.as_ptr(), "borrow, not copy");
+        let msg = view.to_msg().unwrap();
+        assert_eq!(msg.header.machine, 9);
+    }
+
+    #[test]
+    fn stats_merge_sums_componentwise() {
+        let a = FilterStats {
+            seen: 1,
+            kept: 2,
+            rejected: 3,
+            garbage_bytes: 4,
+        };
+        let b = FilterStats {
+            seen: 10,
+            kept: 20,
+            rejected: 30,
+            garbage_bytes: 40,
+        };
+        assert_eq!(
+            a.merge(&b),
+            FilterStats {
+                seen: 11,
+                kept: 22,
+                rejected: 33,
+                garbage_bytes: 44,
+            }
+        );
     }
 }

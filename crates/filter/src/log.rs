@@ -38,7 +38,11 @@ impl LogRecord {
         let fields = desc
             .all_fields(record)
             .into_iter()
-            .filter(|(name, _)| !discard.iter().any(|d| d == name || (d == "size" && name == "msgLength")))
+            .filter(|(name, _)| {
+                !discard
+                    .iter()
+                    .any(|d| d == name || (d == "size" && name == "msgLength"))
+            })
             .map(|(name, value)| (name, value.to_string()))
             .collect();
         Some(LogRecord { event, fields })

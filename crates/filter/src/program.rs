@@ -10,20 +10,22 @@
 //! meter messages arriving over meter connections; this implementation
 //! binds an Internet-domain stream socket at the port given in its
 //! first argument, accepts one connection per metered process, and
-//! forks a helper per connection (each meter connection is an
-//! independent byte stream). Accepted records are appended to the
-//! filter's log file.
+//! forks a reader per connection (each meter connection is an
+//! independent byte stream). The readers feed a [`ShardedFilter`]
+//! pipeline that fans the streams across worker threads; accepted
+//! records are appended to the filter's log file in batches.
 //!
-//! Program arguments: `<port> <logfile> [descriptions [templates]]`.
-//! The descriptions and templates are read from files on the filter's
-//! machine, defaulting to the standard descriptions and
+//! Program arguments: `<port> <logfile> [descriptions [templates
+//! [shards]]]`. The descriptions and templates are read from files on
+//! the filter's machine, defaulting to the standard descriptions and
 //! keep-everything rules when the files are absent (the controller
 //! installs real files; being lenient here keeps hand-rolled sessions
-//! pleasant).
+//! pleasant). `shards` defaults to 1, which reproduces the classic
+//! single-engine filter exactly.
 
 use crate::desc::Descriptions;
-use crate::engine::FilterEngine;
 use crate::rules::Rules;
+use crate::shard::{ShardSink, ShardedFilter};
 use dpm_simos::{BindTo, Cluster, Domain, Proc, SockType, SysError, SysResult};
 use std::sync::Arc;
 
@@ -55,8 +57,18 @@ pub fn filter_main(p: Proc, args: Vec<String>) -> SysResult<()> {
         .and_then(|a| a.parse().ok())
         .ok_or(SysError::Einval)?;
     let log_path = args.get(1).cloned().ok_or(SysError::Einval)?;
-    let desc_path = args.get(2).cloned().unwrap_or_else(|| "descriptions".to_owned());
-    let tmpl_path = args.get(3).cloned().unwrap_or_else(|| "templates".to_owned());
+    let desc_path = args
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "descriptions".to_owned());
+    let tmpl_path = args
+        .get(3)
+        .cloned()
+        .unwrap_or_else(|| "templates".to_owned());
+    let shards: usize = match args.get(4) {
+        Some(a) => a.parse().ok().filter(|&n| n > 0).ok_or(SysError::Einval)?,
+        None => 1,
+    };
 
     let desc = match p.machine().fs().read_string(&desc_path) {
         Some(text) => Descriptions::parse(&text).map_err(|_| SysError::Einval)?,
@@ -67,28 +79,41 @@ pub fn filter_main(p: Proc, args: Vec<String>) -> SysResult<()> {
         None => Rules::default(),
     };
 
+    // The shard workers are real threads; each sink appends its
+    // batches to the filter's log file. Batches end on line
+    // boundaries and `SimFs::append` is atomic per call, so lines
+    // from different shards never interleave mid-line.
+    let pipeline = Arc::new(ShardedFilter::new(
+        shards,
+        desc,
+        rules,
+        |_shard| -> ShardSink {
+            let writer = p.clone();
+            let path = log_path.clone();
+            Box::new(move |batch: &[u8]| writer.machine().fs().append(&path, batch))
+        },
+    ));
+
     let listener = p.socket(Domain::Inet, SockType::Stream)?;
     p.bind(listener, BindTo::Port(port))?;
     p.listen(listener, 32)?;
 
     loop {
         let (conn, _peer) = p.accept(listener)?;
-        let child_desc = desc.clone();
-        let child_rules = rules.clone();
-        let child_log = log_path.clone();
+        let handle = pipeline.open_conn();
+        let child_pipeline = Arc::clone(&pipeline);
         p.fork_with(move |c| {
-            let mut engine = FilterEngine::new(child_desc, child_rules);
             loop {
                 let data = c.read(conn, 4096)?;
                 if data.is_empty() {
                     break;
                 }
-                for line in engine.feed(&data) {
-                    let mut bytes = line.into_bytes();
-                    bytes.push(b'\n');
-                    c.machine().fs().append(&child_log, &bytes);
-                }
+                handle.feed(data);
             }
+            handle.close();
+            // EOF means the metered process is done; make its records
+            // durable before the reader exits so `getlog` sees them.
+            child_pipeline.flush();
             c.close(conn)?;
             Ok(())
         })?;

@@ -248,7 +248,9 @@ fn parse_condition(s: &str) -> Result<Condition, String> {
             if matches!(pattern, Pattern::Prefix(_) | Pattern::Any)
                 && !matches!(op, Op::Eq | Op::Ne)
             {
-                return Err(format!("wildcard patterns only work with = and != in `{s}`"));
+                return Err(format!(
+                    "wildcard patterns only work with = and != in `{s}`"
+                ));
             }
             return Ok(Condition {
                 field: field.to_owned(),
@@ -275,10 +277,13 @@ fn parse_pattern(value: &str) -> Pattern {
     }
     // A bare identifier that looks like a field name is a
     // field-to-field comparison; anything else is literal text.
-    let is_ident = value
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_');
-    if is_ident && value.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
+    let is_ident = value.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    if is_ident
+        && value
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic())
+    {
         Pattern::Field(value.to_owned())
     } else {
         Pattern::Text(value.to_owned())
@@ -396,7 +401,14 @@ mod tests {
         .encode()
     }
 
-    fn send(machine: u16, cpu: u32, pid: u32, sock: u32, len: u32, dest: Option<SockName>) -> Vec<u8> {
+    fn send(
+        machine: u16,
+        cpu: u32,
+        pid: u32,
+        sock: u32,
+        len: u32,
+        dest: Option<SockName>,
+    ) -> Vec<u8> {
         record(
             machine,
             cpu,
@@ -433,7 +445,8 @@ mod tests {
     fn figure_3_3_second_rule() {
         let dest = SockName::inet(228_320_140 >> 16, (228_320_140 & 0xffff) as u16);
         let dest_str = dest.to_string();
-        let rules = Rules::parse(&format!("machine=0, type=1, sock=4, destName={dest_str}\n")).unwrap();
+        let rules =
+            Rules::parse(&format!("machine=0, type=1, sock=4, destName={dest_str}\n")).unwrap();
         let d = desc();
         let yes = send(0, 1, 9, 4, 100, Some(dest.clone()));
         let no = send(0, 1, 9, 4, 100, Some(SockName::inet(1, 1)));
@@ -508,7 +521,10 @@ mod tests {
             rules.verdict(&d, &send(2, 0, 1, 1, 1, None)),
             Verdict::Keep { .. }
         ));
-        assert_eq!(rules.verdict(&d, &send(3, 0, 1, 1, 1, None)), Verdict::Reject);
+        assert_eq!(
+            rules.verdict(&d, &send(3, 0, 1, 1, 1, None)),
+            Verdict::Reject
+        );
     }
 
     #[test]

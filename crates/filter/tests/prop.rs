@@ -35,7 +35,14 @@ fn arb_rule_text() -> impl Strategy<Value = String> {
         Just("sock"),
         Just("msgLength"),
     ];
-    let op = prop_oneof![Just("="), Just("!="), Just("<"), Just(">"), Just("<="), Just(">=")];
+    let op = prop_oneof![
+        Just("="),
+        Just("!="),
+        Just("<"),
+        Just(">"),
+        Just("<="),
+        Just(">=")
+    ];
     let cond = (field, op, any::<u16>()).prop_map(|(f, o, v)| format!("{f}{o}{v}"));
     proptest::collection::vec(cond, 1..4).prop_map(|cs| cs.join(", "))
 }
@@ -109,5 +116,77 @@ proptest! {
     fn engine_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..500)) {
         let mut engine = FilterEngine::standard();
         let _ = engine.feed(&bytes); // must not panic
+    }
+
+    /// The zero-copy pipeline's key invariant: a stream delivered one
+    /// byte at a time produces exactly the same accepted lines and the
+    /// same statistics — including `garbage_bytes` — as the same
+    /// stream delivered in one buffer, even when corrupt bytes are
+    /// mixed in between the records.
+    #[test]
+    fn byte_at_a_time_equals_all_at_once(
+        records in proptest::collection::vec(
+            (any::<u16>(), any::<u32>(), any::<u32>(), any::<u32>()), 1..12),
+        garbage_runs in proptest::collection::vec(0usize..40, 1..12),
+    ) {
+        // Interleave zero-filled garbage runs with valid records.
+        // (0x00 runs are unambiguous: every misaligned size read is
+        // either 0 or a left-shifted real size, both outside the
+        // valid 24..=4096 range, so resynchronization is exact.)
+        let mut wire = Vec::new();
+        for (i, (m, c, p, l)) in records.iter().enumerate() {
+            let run = garbage_runs[i % garbage_runs.len()];
+            wire.extend(std::iter::repeat_n(0u8, run));
+            wire.extend_from_slice(&send_record(*m, *c, *p, *l));
+        }
+
+        let mut whole = FilterEngine::standard();
+        let mut whole_lines = Vec::new();
+        whole.feed_into(&wire, &mut |rec| whole_lines.push(rec.to_string()));
+
+        let mut trickle = FilterEngine::standard();
+        let mut trickle_lines = Vec::new();
+        for b in &wire {
+            trickle.feed_into(std::slice::from_ref(b), &mut |rec| {
+                trickle_lines.push(rec.to_string());
+            });
+        }
+
+        prop_assert_eq!(&whole_lines, &trickle_lines);
+        prop_assert_eq!(whole.stats(), trickle.stats());
+        prop_assert_eq!(whole.pending_bytes(), trickle.pending_bytes());
+    }
+
+    /// Resync fuzz: after arbitrary garbage runs between records, the
+    /// engine recovers every valid record and charges exactly the
+    /// garbage bytes to `garbage_bytes` (the stream ends with a valid
+    /// record, so no garbage is left pending as a possible header).
+    #[test]
+    fn resync_recovers_every_record_between_garbage(
+        records in proptest::collection::vec(
+            (any::<u16>(), any::<u32>(), any::<u32>(), any::<u32>()), 1..12),
+        garbage_runs in proptest::collection::vec(0usize..40, 1..12),
+        chunk in 1usize..64,
+    ) {
+        let mut wire = Vec::new();
+        let mut total_garbage = 0u64;
+        for (i, (m, c, p, l)) in records.iter().enumerate() {
+            let run = garbage_runs[i % garbage_runs.len()];
+            total_garbage += run as u64;
+            wire.extend(std::iter::repeat_n(0u8, run));
+            wire.extend_from_slice(&send_record(*m, *c, *p, *l));
+        }
+
+        let mut engine = FilterEngine::standard();
+        let mut lines = Vec::new();
+        for part in wire.chunks(chunk) {
+            engine.feed_into(part, &mut |rec| lines.push(rec.to_string()));
+        }
+
+        let stats = engine.stats();
+        prop_assert_eq!(stats.seen, records.len() as u64);
+        prop_assert_eq!(stats.kept, lines.len() as u64);
+        prop_assert_eq!(stats.garbage_bytes, total_garbage);
+        prop_assert_eq!(engine.pending_bytes(), 0);
     }
 }

@@ -46,8 +46,8 @@ pub mod name;
 
 pub use flags::MeterFlags;
 pub use msg::{
-    trace_type, DecodeError, MeterAccept, MeterBody, MeterConnect, MeterDestSock, MeterDup,
-    MeterFork, MeterHeader, MeterMsg, MeterRecvCall, MeterRecvMsg, MeterSendMsg, MeterSockCrt,
-    MeterTermProc, TermReason,
+    trace_type, DecodeError, MeterAccept, MeterBody, MeterConnect, MeterDecoder, MeterDestSock,
+    MeterDup, MeterFork, MeterHeader, MeterMsg, MeterRecord, MeterRecvCall, MeterRecvMsg,
+    MeterSendMsg, MeterSockCrt, MeterTermProc, TermReason, HEADER_LEN, MAX_METER_MSG,
 };
 pub use name::{NameDecodeError, SockName, NAME_LEN};

@@ -67,6 +67,18 @@ pub mod trace_type {
 /// Size in bytes of the encoded [`MeterHeader`].
 pub const HEADER_LEN: usize = 24;
 
+/// Upper bound on the size of one encoded meter message, in bytes.
+///
+/// The kernel metering code buffers whole messages, so every consumer
+/// of the stream — reassembly in the filter, the daemon's relay, test
+/// harnesses — shares one notion of "implausibly large". A header
+/// whose `size` field exceeds this bound is treated as stream
+/// corruption rather than a gigantic record. The real bodies are tiny
+/// (the largest, accept, is 24 bytes plus two 16-byte names); the
+/// bound is a full 4.2BSD page, leaving generous headroom. Asserted
+/// against [`MeterMsg::encode`] in a unit test.
+pub const MAX_METER_MSG: usize = 4096;
+
 /// The standard header carried by every meter message.
 ///
 /// ```text
@@ -634,17 +646,76 @@ impl MeterMsg {
     ///
     /// Meter connections are streams, so several buffered messages
     /// arrive concatenated; call this repeatedly, advancing by the
-    /// returned length.
+    /// returned length — or use [`MeterDecoder`], which does the
+    /// advancing for you and borrows rather than copies. This is a
+    /// thin wrapper over [`MeterRecord::parse`] + [`MeterRecord::to_msg`].
     ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] if the buffer does not hold a complete
-    /// message, the trace type is unknown, or a name field is
-    /// malformed.
+    /// message, the size field is implausible, the trace type is
+    /// unknown, or a name field is malformed.
     pub fn decode(buf: &[u8]) -> Result<(MeterMsg, usize), DecodeError> {
-        let mut header = MeterHeader::decode(buf)?;
+        let record = MeterRecord::parse(buf)?;
+        Ok((record.to_msg()?, record.len()))
+    }
+
+    /// Decodes a whole buffer of concatenated messages.
+    ///
+    /// A thin wrapper around [`MeterDecoder`]; use the decoder
+    /// directly to avoid materializing every message up front.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first malformed message; previously decoded
+    /// messages are discarded.
+    pub fn decode_all(buf: &[u8]) -> Result<Vec<MeterMsg>, DecodeError> {
+        let mut decoder = MeterDecoder::new(buf);
+        let mut out = Vec::new();
+        for record in decoder.by_ref() {
+            out.push(record?.to_msg()?);
+        }
+        // The decoder treats a partial tail as "wait for more input";
+        // for this whole-buffer API it is an error, as it always was.
+        match decoder.remainder() {
+            [] => Ok(out),
+            tail => Err(MeterRecord::parse(tail).expect_err("tail was unparseable")),
+        }
+    }
+}
+
+/// One complete, framed meter message borrowed from a stream buffer.
+///
+/// A `MeterRecord` has a validated header and a complete frame (the
+/// buffer holds all `size` bytes), but its body has *not* been
+/// decoded: field access ([`machine`](MeterRecord::machine),
+/// [`trace_type`](MeterRecord::trace_type), …) reads straight from the
+/// borrowed bytes, and [`to_msg`](MeterRecord::to_msg) materializes an
+/// owned [`MeterMsg`] on demand. This is the zero-copy currency of the
+/// filter pipeline: reassembly hands records to selection rules
+/// without allocating.
+#[derive(Debug, Clone, Copy)]
+pub struct MeterRecord<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> MeterRecord<'a> {
+    /// Parses one record from the front of `buf` without copying.
+    ///
+    /// Validates the header and the frame bounds only: the size field
+    /// must lie in `HEADER_LEN..=MAX_METER_MSG` and the buffer must
+    /// hold the whole frame. Body-level problems (unknown trace type,
+    /// bad names) are reported by [`MeterRecord::to_msg`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Truncated`] when the buffer holds a prefix of a
+    /// record; [`DecodeError::BadSize`] when the size field is out of
+    /// range (stream corruption).
+    pub fn parse(buf: &'a [u8]) -> Result<MeterRecord<'a>, DecodeError> {
+        let header = MeterHeader::decode(buf)?;
         let size = header.size as usize;
-        if size < HEADER_LEN {
+        if !(HEADER_LEN..=MAX_METER_MSG).contains(&size) {
             return Err(DecodeError::BadSize { size: header.size });
         }
         if buf.len() < size {
@@ -653,26 +724,132 @@ impl MeterMsg {
                 have: buf.len(),
             });
         }
-        let body = MeterBody::decode(header.trace_type, &buf[HEADER_LEN..size])?;
-        // Normalize: the struct's `size` always reflects the encoding.
-        header.size = size as u32;
-        Ok((MeterMsg { header, body }, size))
+        Ok(MeterRecord {
+            bytes: &buf[..size],
+        })
     }
 
-    /// Decodes a whole buffer of concatenated messages.
+    /// The record's complete wire bytes (header + body).
+    pub fn bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Total length of the record in bytes (the header's `size`).
+    #[allow(clippy::len_without_is_empty)] // never empty: >= HEADER_LEN
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// The body bytes following the header.
+    pub fn body_bytes(&self) -> &'a [u8] {
+        &self.bytes[HEADER_LEN..]
+    }
+
+    /// The decoded header, with `size` normalized to the frame length.
+    pub fn header(&self) -> MeterHeader {
+        let mut h = MeterHeader::decode(self.bytes).expect("frame was validated");
+        h.size = self.bytes.len() as u32;
+        h
+    }
+
+    /// The machine field, read in place.
+    pub fn machine(&self) -> u16 {
+        u16::from_le_bytes([self.bytes[4], self.bytes[5]])
+    }
+
+    /// The trace-type field, read in place.
+    pub fn trace_type(&self) -> u32 {
+        read_u32(self.bytes, 20)
+    }
+
+    /// Decodes the full message, allocating owned bodies.
     ///
     /// # Errors
     ///
-    /// Fails on the first malformed message; previously decoded
-    /// messages are discarded.
-    pub fn decode_all(mut buf: &[u8]) -> Result<Vec<MeterMsg>, DecodeError> {
-        let mut out = Vec::new();
-        while !buf.is_empty() {
-            let (msg, used) = MeterMsg::decode(buf)?;
-            out.push(msg);
-            buf = &buf[used..];
+    /// [`DecodeError::UnknownTraceType`], [`DecodeError::Truncated`]
+    /// (body shorter than its trace type requires) or
+    /// [`DecodeError::BadName`].
+    pub fn to_msg(&self) -> Result<MeterMsg, DecodeError> {
+        let header = self.header();
+        let body = MeterBody::decode(header.trace_type, self.body_bytes())?;
+        Ok(MeterMsg { header, body })
+    }
+}
+
+/// A streaming, zero-copy iterator over concatenated meter messages.
+///
+/// Yields one [`MeterRecord`] per complete frame; stops (returns
+/// `None`) at the end of the buffer or at a clean partial tail — use
+/// [`remainder`](MeterDecoder::remainder) to recover bytes that need
+/// more input stitched on. A malformed frame is yielded once as
+/// `Err`, after which the iterator is fused; `remainder` then points
+/// at the offending bytes so callers can resynchronize.
+///
+/// ```
+/// use dpm_meter::{MeterDecoder, MeterMsg, MeterBody, MeterFork, MeterHeader, trace_type};
+/// let msg = MeterMsg {
+///     header: MeterHeader { trace_type: trace_type::FORK, ..Default::default() },
+///     body: MeterBody::Fork(MeterFork { pid: 1, pc: 2, new_pid: 3 }),
+/// };
+/// let mut wire = msg.encode();
+/// wire.extend_from_slice(&msg.encode());
+/// let records: Vec<_> = MeterDecoder::new(&wire).collect::<Result<_, _>>().unwrap();
+/// assert_eq!(records.len(), 2);
+/// assert_eq!(records[0].trace_type(), trace_type::FORK);
+/// assert_eq!(records[0].to_msg().unwrap().body, msg.body);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeterDecoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    fused: bool,
+}
+
+impl<'a> MeterDecoder<'a> {
+    /// Starts decoding at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> MeterDecoder<'a> {
+        MeterDecoder {
+            buf,
+            pos: 0,
+            fused: false,
         }
-        Ok(out)
+    }
+
+    /// Bytes consumed by successfully yielded records.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// The unconsumed tail: empty after a fully decoded buffer, a
+    /// partial frame awaiting more input, or the malformed bytes that
+    /// stopped iteration.
+    pub fn remainder(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+}
+
+impl<'a> Iterator for MeterDecoder<'a> {
+    type Item = Result<MeterRecord<'a>, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused || self.pos >= self.buf.len() {
+            return None;
+        }
+        match MeterRecord::parse(&self.buf[self.pos..]) {
+            Ok(record) => {
+                self.pos += record.len();
+                Some(Ok(record))
+            }
+            Err(DecodeError::Truncated { .. }) => {
+                // Clean partial tail: wait for more input.
+                self.fused = true;
+                None
+            }
+            Err(e) => {
+                self.fused = true;
+                Some(Err(e))
+            }
+        }
     }
 }
 
@@ -970,6 +1147,163 @@ mod tests {
         assert!(matches!(
             MeterMsg::decode(&tiny),
             Err(DecodeError::BadSize { size: 3 })
+        ));
+    }
+
+    /// `MAX_METER_MSG` is an invariant of the wire format: nothing
+    /// `encode` can produce comes anywhere near it, so a size field
+    /// above it is always stream corruption.
+    #[test]
+    fn encoded_messages_never_exceed_max_meter_msg() {
+        let name = || Some(SockName::unix("/tmp/a-very-long-path"));
+        let bodies = [
+            MeterBody::Send(MeterSendMsg {
+                pid: u32::MAX,
+                pc: u32::MAX,
+                sock: u32::MAX,
+                msg_length: u32::MAX,
+                dest_name: name(),
+            }),
+            MeterBody::Recv(MeterRecvMsg {
+                pid: 1,
+                pc: 2,
+                sock: 3,
+                msg_length: 4,
+                source_name: name(),
+            }),
+            MeterBody::Accept(MeterAccept {
+                pid: 1,
+                pc: 2,
+                sock: 3,
+                new_sock: 4,
+                sock_name: name(),
+                peer_name: name(),
+            }),
+            MeterBody::Connect(MeterConnect {
+                pid: 1,
+                pc: 2,
+                sock: 3,
+                sock_name: name(),
+                peer_name: name(),
+            }),
+            MeterBody::SockCrt(MeterSockCrt {
+                pid: 1,
+                pc: 2,
+                sock: 3,
+                domain: 2,
+                sock_type: 1,
+                protocol: 0,
+            }),
+        ];
+        for body in bodies {
+            let msg = MeterMsg {
+                header: header(body.trace_type()),
+                body,
+            };
+            let n = msg.encode().len();
+            assert!(
+                n <= MAX_METER_MSG,
+                "encoded {n} bytes exceeds MAX_METER_MSG ({MAX_METER_MSG})"
+            );
+        }
+        // The largest body (accept: 24 bytes + two names) stays small.
+        const { assert!(HEADER_LEN + 24 + 2 * NAME_LEN <= MAX_METER_MSG) };
+    }
+
+    #[test]
+    fn decoder_iterates_stream_without_copying() {
+        let msgs: Vec<MeterMsg> = (0..4)
+            .map(|i| MeterMsg {
+                header: header(trace_type::FORK),
+                body: MeterBody::Fork(MeterFork {
+                    pid: i,
+                    pc: 0,
+                    new_pid: i + 100,
+                }),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            m.encode_into(&mut wire);
+        }
+        let mut decoder = MeterDecoder::new(&wire);
+        for (i, m) in msgs.iter().enumerate() {
+            let record = decoder.next().expect("record").expect("valid");
+            // The record borrows the original wire bytes in place.
+            assert_eq!(
+                record.bytes().as_ptr(),
+                wire[i * record.len()..].as_ptr(),
+                "record {i} is a borrow, not a copy"
+            );
+            assert_eq!(record.machine(), 5);
+            assert_eq!(record.trace_type(), trace_type::FORK);
+            assert_eq!(record.to_msg().unwrap().body, m.body);
+        }
+        assert!(decoder.next().is_none());
+        assert_eq!(decoder.consumed(), wire.len());
+        assert!(decoder.remainder().is_empty());
+    }
+
+    #[test]
+    fn decoder_stops_at_partial_tail_with_remainder() {
+        let msg = MeterMsg {
+            header: header(trace_type::FORK),
+            body: MeterBody::Fork(MeterFork {
+                pid: 1,
+                pc: 2,
+                new_pid: 3,
+            }),
+        };
+        let mut wire = msg.encode();
+        let full = wire.len();
+        wire.extend_from_slice(&msg.encode()[..10]); // partial second frame
+        let mut decoder = MeterDecoder::new(&wire);
+        assert!(decoder.next().unwrap().is_ok());
+        assert!(decoder.next().is_none(), "partial tail is not an error");
+        assert_eq!(decoder.consumed(), full);
+        assert_eq!(decoder.remainder().len(), 10);
+    }
+
+    #[test]
+    fn decoder_fuses_on_bad_size_and_exposes_bad_tail() {
+        let msg = MeterMsg {
+            header: header(trace_type::FORK),
+            body: MeterBody::Fork(MeterFork {
+                pid: 1,
+                pc: 2,
+                new_pid: 3,
+            }),
+        };
+        let mut wire = msg.encode();
+        let good = wire.len();
+        let mut bad = msg.encode();
+        bad[0..4].copy_from_slice(&3u32.to_le_bytes());
+        wire.extend_from_slice(&bad);
+        let mut decoder = MeterDecoder::new(&wire);
+        assert!(decoder.next().unwrap().is_ok());
+        assert!(matches!(
+            decoder.next(),
+            Some(Err(DecodeError::BadSize { size: 3 }))
+        ));
+        assert!(decoder.next().is_none(), "decoder is fused after an error");
+        assert_eq!(decoder.remainder().len(), wire.len() - good);
+    }
+
+    #[test]
+    fn oversize_size_field_is_corruption_not_truncation() {
+        let msg = MeterMsg {
+            header: header(trace_type::FORK),
+            body: MeterBody::Fork(MeterFork {
+                pid: 1,
+                pc: 2,
+                new_pid: 3,
+            }),
+        };
+        let mut wire = msg.encode();
+        wire[0..4].copy_from_slice(&(MAX_METER_MSG as u32 + 1).to_le_bytes());
+        assert!(matches!(
+            MeterRecord::parse(&wire),
+            Err(DecodeError::BadSize { .. })
         ));
     }
 

@@ -30,11 +30,7 @@ fn arb_body() -> impl Strategy<Value = MeterBody> {
                 dest_name,
             })
         }),
-        (u, u, u).prop_map(|(pid, pc, sock)| MeterBody::RecvCall(MeterRecvCall {
-            pid,
-            pc,
-            sock
-        })),
+        (u, u, u).prop_map(|(pid, pc, sock)| MeterBody::RecvCall(MeterRecvCall { pid, pc, sock })),
         (u, u, u, u, arb_name()).prop_map(|(pid, pc, sock, msg_length, source_name)| {
             MeterBody::Recv(MeterRecvMsg {
                 pid,
@@ -60,11 +56,7 @@ fn arb_body() -> impl Strategy<Value = MeterBody> {
             sock,
             new_sock
         })),
-        (u, u, u).prop_map(|(pid, pc, sock)| MeterBody::DestSock(MeterDestSock {
-            pid,
-            pc,
-            sock
-        })),
+        (u, u, u).prop_map(|(pid, pc, sock)| MeterBody::DestSock(MeterDestSock { pid, pc, sock })),
         (u, u, u).prop_map(|(pid, pc, new_pid)| MeterBody::Fork(MeterFork { pid, pc, new_pid })),
         (u, u, u, u, arb_name(), arb_name()).prop_map(
             |(pid, pc, sock, new_sock, sock_name, peer_name)| {
@@ -87,9 +79,16 @@ fn arb_body() -> impl Strategy<Value = MeterBody> {
                 peer_name,
             })
         }),
-        (u, u, prop_oneof![Just(TermReason::Normal), Just(TermReason::Killed)]).prop_map(
-            |(pid, pc, reason)| MeterBody::TermProc(MeterTermProc { pid, pc, reason })
-        ),
+        (
+            u,
+            u,
+            prop_oneof![Just(TermReason::Normal), Just(TermReason::Killed)]
+        )
+            .prop_map(|(pid, pc, reason)| MeterBody::TermProc(MeterTermProc {
+                pid,
+                pc,
+                reason
+            })),
     ]
 }
 

@@ -12,7 +12,7 @@
 //! one exception is process-termination reporting, where the daemon
 //! initiates the connection to the controller.
 
-use crate::proto::{frame_len, status, Reply, Request};
+use crate::proto::{frame_len, Reply, Request, RpcStatus};
 use dpm_meter::{MeterFlags, TermReason};
 use dpm_simos::{
     BindTo, Cluster, Domain, Fd, FlagSel, Pid, PidSel, Proc, Sig, SockSel, SockType, SysError,
@@ -169,7 +169,12 @@ pub fn meterd_main(p: Proc, _args: Vec<String>) -> SysResult<()> {
                 Err(SysError::Esrch) => {
                     // No children right now; the daemon may get some
                     // later, or may itself be gone.
-                    if watcher.machine().proc_state(watcher.pid()).map(|s| s.is_dead()) != Some(false) {
+                    if watcher
+                        .machine()
+                        .proc_state(watcher.pid())
+                        .map(|s| s.is_dead())
+                        != Some(false)
+                    {
                         break;
                     }
                     std::thread::sleep(std::time::Duration::from_millis(2));
@@ -199,7 +204,13 @@ fn serve_one(p: &Proc, conn: Fd, procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>) -> 
     let req = match Request::decode(&frame) {
         Ok(r) => r,
         Err(_e) => {
-            let _ = p.write(conn, &Reply::Ack { status: status::FAIL }.encode());
+            let _ = p.write(
+                conn,
+                &Reply::Ack {
+                    status: RpcStatus::Fail,
+                }
+                .encode(),
+            );
             return Ok(());
         }
     };
@@ -210,12 +221,12 @@ fn serve_one(p: &Proc, conn: Fd, procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>) -> 
     Ok(())
 }
 
-fn sys_status(e: &SysError) -> u32 {
+fn sys_status(e: &SysError) -> RpcStatus {
     match e {
-        SysError::Enoent => status::NOENT,
-        SysError::Esrch => status::SRCH,
-        SysError::Eperm => status::PERM,
-        _ => status::FAIL,
+        SysError::Enoent => RpcStatus::NoEnt,
+        SysError::Esrch => RpcStatus::Srch,
+        SysError::Eperm => RpcStatus::Perm,
+        _ => RpcStatus::Fail,
     }
 }
 
@@ -258,12 +269,17 @@ fn handle(
             logfile,
             descriptions,
             templates,
+            shards,
         } => {
+            // The shard count rides along as the filter program's
+            // fifth argument; `0` would be rejected by the standard
+            // filter, so treat it as "default" here.
             let args = vec![
                 port.to_string(),
                 logfile,
                 descriptions,
                 templates,
+                shards.max(1).to_string(),
             ];
             match p.spawn_file(&filterfile, args, None) {
                 Ok(pid) => {
@@ -271,7 +287,7 @@ fn handle(
                     p.kill(pid, Sig::Cont)?;
                     Ok(Some(Reply::Create {
                         pid,
-                        status: status::OK,
+                        status: RpcStatus::Ok,
                     }))
                 }
                 Err(e) => Ok(Some(Reply::Create {
@@ -280,9 +296,11 @@ fn handle(
                 })),
             }
         }
-        Request::SetFlags { pid, flags } => Ok(Some(ack(
-            p.setmeter(PidSel::Pid(pid), FlagSel::Set(flags), SockSel::NoChange),
-        ))),
+        Request::SetFlags { pid, flags } => Ok(Some(ack(p.setmeter(
+            PidSel::Pid(pid),
+            FlagSel::Set(flags),
+            SockSel::NoChange,
+        )))),
         Request::Start { pid } => Ok(Some(ack(p.kill(pid, Sig::Cont)))),
         Request::Stop { pid } => Ok(Some(ack(p.kill(pid, Sig::Stop)))),
         Request::Kill { pid } => Ok(Some(ack(p.kill(pid, Sig::Kill)))),
@@ -296,15 +314,14 @@ fn handle(
         } => {
             let result = (|| -> SysResult<()> {
                 let s = connect_filter(p, &filter_host, filter_port)?;
-                let r =
-                    p.setmeter(PidSel::Pid(pid), FlagSel::Set(meter_flags), SockSel::Fd(s));
+                let r = p.setmeter(PidSel::Pid(pid), FlagSel::Set(meter_flags), SockSel::Fd(s));
                 let _ = p.close(s);
                 r
             })();
             Ok(Some(match result {
                 Ok(()) => Reply::Create {
                     pid,
-                    status: status::OK,
+                    status: RpcStatus::Ok,
                 },
                 Err(e) => Reply::Create {
                     pid: Pid(0),
@@ -314,11 +331,11 @@ fn handle(
         }
         Request::GetFile { path } => Ok(Some(match p.machine().fs().read(&path) {
             Some(data) => Reply::File {
-                status: status::OK,
+                status: RpcStatus::Ok,
                 data,
             },
             None => Reply::File {
-                status: status::NOENT,
+                status: RpcStatus::NoEnt,
                 data: Vec::new(),
             },
         })),
@@ -329,14 +346,16 @@ fn handle(
         )))),
         Request::WriteFile { path, data } => {
             p.machine().fs().write(&path, data);
-            Ok(Some(Reply::Ack { status: status::OK }))
+            Ok(Some(Reply::Ack {
+                status: RpcStatus::Ok,
+            }))
         }
         Request::SendInput { pid, data } => {
             let fd = procs.lock().get(&pid).and_then(|i| i.stdin_fd);
             Ok(Some(match fd {
                 Some(fd) => ack(p.write(fd, &data).map(|_| ())),
                 None => Reply::Ack {
-                    status: status::SRCH,
+                    status: RpcStatus::Srch,
                 },
             }))
         }
@@ -372,7 +391,9 @@ fn connect_filter(p: &Proc, host: &str, port: u16) -> SysResult<Fd> {
 
 fn ack<T>(r: SysResult<T>) -> Reply {
     match r {
-        Ok(_) => Reply::Ack { status: status::OK },
+        Ok(_) => Reply::Ack {
+            status: RpcStatus::Ok,
+        },
         Err(e) => Reply::Ack {
             status: sys_status(&e),
         },
@@ -465,7 +486,7 @@ fn create_process(
                     let _ = p.close(ours);
                     return Ok(Reply::Create {
                         pid: Pid(0),
-                        status: status::NOENT,
+                        status: RpcStatus::NoEnt,
                     });
                 }
             }
@@ -497,6 +518,6 @@ fn create_process(
     );
     Ok(Reply::Create {
         pid,
-        status: status::OK,
+        status: RpcStatus::Ok,
     })
 }

@@ -64,19 +64,80 @@ pub mod msg_type {
     pub const SEND_INPUT: u32 = 26;
 }
 
-/// Status codes carried in replies. 0 is success, as tradition
-/// demands.
-pub mod status {
-    /// Operation succeeded.
-    pub const OK: u32 = 0;
-    /// No such file.
-    pub const NOENT: u32 = 1;
-    /// No such process.
-    pub const SRCH: u32 = 2;
-    /// Permission denied.
-    pub const PERM: u32 = 3;
-    /// Anything else.
-    pub const FAIL: u32 = 4;
+/// Status code carried in replies. On the wire this is a bare `u32`
+/// (0 is success, as tradition demands); in the API it is a typed
+/// enum so callers match on `RpcStatus::Ok` instead of a magic `0`.
+///
+/// Unknown wire values decode to [`RpcStatus::Other`] instead of
+/// failing, so a newer daemon can add codes without breaking an older
+/// controller; `#[non_exhaustive]` keeps downstream matches honest
+/// about that possibility.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RpcStatus {
+    /// Operation succeeded (wire code 0).
+    Ok,
+    /// No such file (wire code 1).
+    NoEnt,
+    /// No such process (wire code 2).
+    Srch,
+    /// Permission denied (wire code 3).
+    Perm,
+    /// Anything else that went wrong (wire code 4).
+    Fail,
+    /// A wire code this build does not know about.
+    Other(u32),
+}
+
+impl RpcStatus {
+    /// Whether this is the success code.
+    pub fn is_ok(self) -> bool {
+        self == RpcStatus::Ok
+    }
+
+    /// The wire code.
+    pub fn code(self) -> u32 {
+        self.into()
+    }
+}
+
+impl From<u32> for RpcStatus {
+    fn from(code: u32) -> RpcStatus {
+        match code {
+            0 => RpcStatus::Ok,
+            1 => RpcStatus::NoEnt,
+            2 => RpcStatus::Srch,
+            3 => RpcStatus::Perm,
+            4 => RpcStatus::Fail,
+            other => RpcStatus::Other(other),
+        }
+    }
+}
+
+impl From<RpcStatus> for u32 {
+    fn from(s: RpcStatus) -> u32 {
+        match s {
+            RpcStatus::Ok => 0,
+            RpcStatus::NoEnt => 1,
+            RpcStatus::Srch => 2,
+            RpcStatus::Perm => 3,
+            RpcStatus::Fail => 4,
+            RpcStatus::Other(code) => code,
+        }
+    }
+}
+
+impl fmt::Display for RpcStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RpcStatus::Ok => write!(f, "ok"),
+            RpcStatus::NoEnt => write!(f, "no such file"),
+            RpcStatus::Srch => write!(f, "no such process"),
+            RpcStatus::Perm => write!(f, "permission denied"),
+            RpcStatus::Fail => write!(f, "request failed"),
+            RpcStatus::Other(code) => write!(f, "unknown status {code}"),
+        }
+    }
 }
 
 /// A request sent from the controller to a meterdaemon (or, for the
@@ -122,6 +183,9 @@ pub enum Request {
         descriptions: String,
         /// Templates (selection rules) file path.
         templates: String,
+        /// How many selection shards the filter should run (≥ 1). One
+        /// shard reproduces the classic single-engine filter.
+        shards: u32,
     },
     /// `13`: replace a process's meter flags.
     SetFlags {
@@ -207,18 +271,18 @@ pub enum Reply {
     Create {
         /// New (or acquired) process id; 0 on failure.
         pid: Pid,
-        /// A [`status`] code.
-        status: u32,
+        /// Outcome of the request.
+        status: RpcStatus,
     },
     /// `21`: plain acknowledgement.
     Ack {
-        /// A [`status`] code.
-        status: u32,
+        /// Outcome of the request.
+        status: RpcStatus,
     },
     /// `22`: file contents.
     File {
-        /// A [`status`] code.
-        status: u32,
+        /// Outcome of the request.
+        status: RpcStatus,
         /// The bytes (empty on failure).
         data: Vec<u8>,
     },
@@ -226,7 +290,7 @@ pub enum Reply {
 
 impl Reply {
     /// The reply's status code.
-    pub fn status(&self) -> u32 {
+    pub fn status(&self) -> RpcStatus {
         match self {
             Reply::Create { status, .. } | Reply::Ack { status } | Reply::File { status, .. } => {
                 *status
@@ -367,12 +431,14 @@ impl Request {
                 logfile,
                 descriptions,
                 templates,
+                shards,
             } => {
                 w.str(filterfile);
                 w.u32(*port as u32);
                 w.str(logfile);
                 w.str(descriptions);
                 w.str(templates);
+                w.u32(*shards);
             }
             Request::SetFlags { pid, flags } => {
                 w.u32(pid.0);
@@ -453,7 +519,11 @@ impl Request {
                     redirect_io: r.u32()? != 0,
                     stdin_file: {
                         let s = r.str()?;
-                        if s.is_empty() { None } else { Some(s) }
+                        if s.is_empty() {
+                            None
+                        } else {
+                            Some(s)
+                        }
                     },
                 }
             }
@@ -463,6 +533,7 @@ impl Request {
                 logfile: r.str()?,
                 descriptions: r.str()?,
                 templates: r.str()?,
+                shards: r.u32()?,
             },
             msg_type::SET_FLAGS => Request::SetFlags {
                 pid: Pid(r.u32()?),
@@ -518,13 +589,13 @@ impl Reply {
         match self {
             Reply::Create { pid, status } => {
                 w.u32(pid.0);
-                w.u32(*status);
+                w.u32(status.code());
             }
             Reply::Ack { status } => {
-                w.u32(*status);
+                w.u32(status.code());
             }
             Reply::File { status, data } => {
-                w.u32(*status);
+                w.u32(status.code());
                 w.bytes(data);
             }
         }
@@ -543,11 +614,13 @@ impl Reply {
         Ok(match ty {
             msg_type::CREATE_REPLY => Reply::Create {
                 pid: Pid(r.u32()?),
-                status: r.u32()?,
+                status: RpcStatus::from(r.u32()?),
             },
-            msg_type::ACK => Reply::Ack { status: r.u32()? },
+            msg_type::ACK => Reply::Ack {
+                status: RpcStatus::from(r.u32()?),
+            },
             msg_type::FILE_REPLY => Reply::File {
-                status: r.u32()?,
+                status: RpcStatus::from(r.u32()?),
                 data: r.bytes()?,
             },
             other => return Err(ProtoError::new(format!("unknown reply type {other}"))),
@@ -595,13 +668,16 @@ mod tests {
     fn create_reply_matches_figure_3_6_shape() {
         let rep = Reply::Create {
             pid: Pid(2120),
-            status: status::OK,
+            status: RpcStatus::Ok,
         };
         let wire = rep.encode();
         let ty = u32::from_le_bytes([wire[4], wire[5], wire[6], wire[7]]);
         assert_eq!(ty, 18, "create reply is type 18");
         // Body: pid then status, directly after the 8-byte prefix.
-        assert_eq!(u32::from_le_bytes([wire[8], wire[9], wire[10], wire[11]]), 2120);
+        assert_eq!(
+            u32::from_le_bytes([wire[8], wire[9], wire[10], wire[11]]),
+            2120
+        );
         assert_eq!(Reply::decode(&wire).unwrap(), rep);
     }
 
@@ -615,8 +691,12 @@ mod tests {
                 logfile: "/usr/tmp/f1".into(),
                 descriptions: "descriptions".into(),
                 templates: "templates".into(),
+                shards: 4,
             },
-            Request::SetFlags { pid: Pid(7), flags: f },
+            Request::SetFlags {
+                pid: Pid(7),
+                flags: f,
+            },
             Request::Start { pid: Pid(7) },
             Request::Stop { pid: Pid(7) },
             Request::Kill { pid: Pid(7) },
@@ -628,7 +708,9 @@ mod tests {
                 control_port: 2,
                 control_host: "c".into(),
             },
-            Request::GetFile { path: "/usr/tmp/f1".into() },
+            Request::GetFile {
+                path: "/usr/tmp/f1".into(),
+            },
             Request::ClearMeter { pid: Pid(9) },
             Request::WriteFile {
                 path: "/bin/A".into(),
@@ -638,7 +720,10 @@ mod tests {
                 pid: Pid(9),
                 data: b"hello\n".to_vec(),
             },
-            Request::StateChange { pid: Pid(9), state: 0 },
+            Request::StateChange {
+                pid: Pid(9),
+                state: 0,
+            },
             Request::IoData {
                 pid: Pid(9),
                 data: b"output".to_vec(),
@@ -653,11 +738,19 @@ mod tests {
     #[test]
     fn every_reply_round_trips() {
         for rep in [
-            Reply::Create { pid: Pid(1), status: 0 },
-            Reply::Ack { status: status::PERM },
+            Reply::Create {
+                pid: Pid(1),
+                status: RpcStatus::Ok,
+            },
+            Reply::Ack {
+                status: RpcStatus::Perm,
+            },
             Reply::File {
-                status: status::OK,
+                status: RpcStatus::Ok,
                 data: vec![9; 100],
+            },
+            Reply::Ack {
+                status: RpcStatus::Other(77),
             },
         ] {
             assert_eq!(Reply::decode(&rep.encode()).unwrap(), rep);
@@ -665,11 +758,27 @@ mod tests {
     }
 
     #[test]
+    fn rpc_status_round_trips_and_prints() {
+        for code in 0..8u32 {
+            assert_eq!(RpcStatus::from(code).code(), code);
+        }
+        assert!(RpcStatus::Ok.is_ok());
+        assert!(!RpcStatus::Fail.is_ok());
+        assert_eq!(RpcStatus::from(2), RpcStatus::Srch);
+        assert_eq!(RpcStatus::from(9), RpcStatus::Other(9));
+        assert_eq!(RpcStatus::NoEnt.to_string(), "no such file");
+        assert_eq!(RpcStatus::Other(9).to_string(), "unknown status 9");
+    }
+
+    #[test]
     fn decode_errors_on_garbage() {
         assert!(Request::decode(&[1, 2]).is_err());
         let mut wire = Request::Start { pid: Pid(1) }.encode();
         wire[4..8].copy_from_slice(&999u32.to_le_bytes());
-        assert!(Request::decode(&wire).unwrap_err().to_string().contains("999"));
+        assert!(Request::decode(&wire)
+            .unwrap_err()
+            .to_string()
+            .contains("999"));
         let mut truncated = Request::GetFile { path: "abc".into() }.encode();
         truncated.truncate(10);
         assert!(Request::decode(&truncated).is_err());

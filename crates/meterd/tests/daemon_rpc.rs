@@ -5,7 +5,7 @@
 
 use dpm_filter::register_filter_program;
 use dpm_meter::MeterFlags;
-use dpm_meterd::{notify, read_frame, rpc_call, start_meterdaemons, Reply, Request, status};
+use dpm_meterd::{notify, read_frame, rpc_call, start_meterdaemons, Reply, Request, RpcStatus};
 use dpm_simnet::NetConfig;
 use dpm_simos::{BindTo, Cluster, Domain, Pid, Proc, SockType, SysResult, Uid};
 use parking_lot::Mutex;
@@ -80,10 +80,14 @@ fn start_filter(p: &Proc) -> SysResult<Pid> {
             logfile: "/usr/tmp/log.f1".into(),
             descriptions: "descriptions".into(),
             templates: "templates".into(),
+            shards: 1,
         },
     )?;
     match rep {
-        Reply::Create { pid, status: 0 } => Ok(pid),
+        Reply::Create {
+            pid,
+            status: RpcStatus::Ok,
+        } => Ok(pid),
         other => panic!("filter creation failed: {other:?}"),
     }
 }
@@ -106,12 +110,16 @@ fn create_start_and_termination_notification() {
             "red",
             &create_req("/bin/worker", vec![], MeterFlags::ALL, true),
         )?;
-        let Reply::Create { pid, status: 0 } = rep else {
+        let Reply::Create {
+            pid,
+            status: RpcStatus::Ok,
+        } = rep
+        else {
             panic!("create failed: {rep:?}");
         };
         // Start it; wait for the daemon's termination notice to land.
         let rep = rpc_call(p, "red", &Request::Start { pid })?;
-        assert_eq!(rep.status(), 0);
+        assert!(rep.status().is_ok());
         p.sleep_ms(200)?;
         // Real time for the notification to arrive.
         std::thread::sleep(std::time::Duration::from_millis(100));
@@ -123,7 +131,11 @@ fn create_start_and_termination_notification() {
         .iter()
         .filter(|r| matches!(r, Request::StateChange { state: 0, .. }))
         .collect();
-    assert_eq!(term.len(), 1, "exactly one normal-termination notice: {notes:?}");
+    assert_eq!(
+        term.len(),
+        1,
+        "exactly one normal-termination notice: {notes:?}"
+    );
     let io: Vec<&Request> = notes
         .iter()
         .filter(|r| matches!(r, Request::IoData { .. }))
@@ -146,7 +158,7 @@ fn create_failures_report_status() {
             "red",
             &create_req("/bin/missing", vec![], MeterFlags::NONE, false),
         )?;
-        assert_eq!(rep.status(), status::NOENT);
+        assert_eq!(rep.status(), RpcStatus::NoEnt);
         // Bad filter host/port: connection refused at create time.
         let rep = rpc_call(
             p,
@@ -163,10 +175,10 @@ fn create_failures_report_status() {
                 stdin_file: None,
             },
         )?;
-        assert_eq!(rep.status(), status::FAIL);
+        assert_eq!(rep.status(), RpcStatus::Fail);
         // Unknown pid control.
         let rep = rpc_call(p, "red", &Request::Start { pid: Pid(424242) })?;
-        assert_eq!(rep.status(), status::SRCH);
+        assert_eq!(rep.status(), RpcStatus::Srch);
         Ok(())
     });
     c.shutdown();
@@ -184,7 +196,10 @@ fn stop_resume_and_kill_through_the_daemon() {
 
     let _ = with_controller(&c, move |p| {
         start_filter(p)?;
-        let Reply::Create { pid, status: 0 } = rpc_call(
+        let Reply::Create {
+            pid,
+            status: RpcStatus::Ok,
+        } = rpc_call(
             p,
             "red",
             &create_req("/bin/spinner", vec![], MeterFlags::NONE, false),
@@ -197,19 +212,20 @@ fn stop_resume_and_kill_through_the_daemon() {
             Some(dpm_simos::RunState::Embryo),
             "created suspended"
         );
-        assert_eq!(rpc_call(p, "red", &Request::Start { pid })?.status(), 0);
+        assert!(rpc_call(p, "red", &Request::Start { pid })?
+            .status()
+            .is_ok());
         while red2.proc_cpu_us(pid).unwrap_or(0) == 0 {
             std::thread::yield_now();
         }
-        assert_eq!(rpc_call(p, "red", &Request::Stop { pid })?.status(), 0);
+        assert!(rpc_call(p, "red", &Request::Stop { pid })?.status().is_ok());
         // Let it park.
         std::thread::sleep(std::time::Duration::from_millis(20));
-        assert_eq!(
-            red2.proc_state(pid),
-            Some(dpm_simos::RunState::Stopped)
-        );
-        assert_eq!(rpc_call(p, "red", &Request::Start { pid })?.status(), 0);
-        assert_eq!(rpc_call(p, "red", &Request::Kill { pid })?.status(), 0);
+        assert_eq!(red2.proc_state(pid), Some(dpm_simos::RunState::Stopped));
+        assert!(rpc_call(p, "red", &Request::Start { pid })?
+            .status()
+            .is_ok());
+        assert!(rpc_call(p, "red", &Request::Kill { pid })?.status().is_ok());
         red2.wait_exit(pid);
         Ok(())
     });
@@ -228,14 +244,29 @@ fn write_and_get_file_round_trip() {
                 data: b"payload".to_vec(),
             },
         )?;
-        assert_eq!(rep.status(), 0);
-        let rep = rpc_call(p, "red", &Request::GetFile { path: "/tmp/hello".into() })?;
+        assert!(rep.status().is_ok());
+        let rep = rpc_call(
+            p,
+            "red",
+            &Request::GetFile {
+                path: "/tmp/hello".into(),
+            },
+        )?;
         match rep {
-            Reply::File { status: 0, data } => assert_eq!(data, b"payload"),
+            Reply::File {
+                status: RpcStatus::Ok,
+                data,
+            } => assert_eq!(data, b"payload"),
             other => panic!("get file failed: {other:?}"),
         }
-        let rep = rpc_call(p, "red", &Request::GetFile { path: "/nope".into() })?;
-        assert_eq!(rep.status(), status::NOENT);
+        let rep = rpc_call(
+            p,
+            "red",
+            &Request::GetFile {
+                path: "/nope".into(),
+            },
+        )?;
+        assert_eq!(rep.status(), RpcStatus::NoEnt);
         Ok(())
     });
     c.shutdown();
@@ -255,7 +286,10 @@ fn send_input_reaches_redirected_stdin() {
 
     let _ = with_controller(&c, |p| {
         start_filter(p)?;
-        let Reply::Create { pid, status: 0 } = rpc_call(
+        let Reply::Create {
+            pid,
+            status: RpcStatus::Ok,
+        } = rpc_call(
             p,
             "red",
             &create_req("/bin/reader", vec![], MeterFlags::NONE, true),
@@ -263,7 +297,9 @@ fn send_input_reaches_redirected_stdin() {
         else {
             panic!("create failed")
         };
-        assert_eq!(rpc_call(p, "red", &Request::Start { pid })?.status(), 0);
+        assert!(rpc_call(p, "red", &Request::Start { pid })?
+            .status()
+            .is_ok());
         let rep = rpc_call(
             p,
             "red",
@@ -272,7 +308,7 @@ fn send_input_reaches_redirected_stdin() {
                 data: b"typed line\n".to_vec(),
             },
         )?;
-        assert_eq!(rep.status(), 0);
+        assert!(rep.status().is_ok());
         std::thread::sleep(std::time::Duration::from_millis(50));
         Ok(())
     });
@@ -290,7 +326,10 @@ fn one_way_notify_does_not_expect_reply() {
             p,
             "red",
             dpm_meterd::METERD_PORT,
-            &Request::StateChange { pid: Pid(1), state: 0 },
+            &Request::StateChange {
+                pid: Pid(1),
+                state: 0,
+            },
         )?;
         Ok(())
     });

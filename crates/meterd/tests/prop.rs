@@ -3,7 +3,7 @@
 //! decoders.
 
 use dpm_meter::MeterFlags;
-use dpm_meterd::{frame_len, Reply, Request};
+use dpm_meterd::{frame_len, Reply, Request, RpcStatus};
 use dpm_simos::Pid;
 use proptest::prelude::*;
 
@@ -25,7 +25,17 @@ fn arb_request() -> impl Strategy<Value = Request> {
             proptest::option::of("[a-z/._-]{1,30}"),
         )
             .prop_map(
-                |(filename, params, filter_port, filter_host, flags, control_port, control_host, redirect_io, stdin_file)| {
+                |(
+                    filename,
+                    params,
+                    filter_port,
+                    filter_host,
+                    flags,
+                    control_port,
+                    control_host,
+                    redirect_io,
+                    stdin_file,
+                )| {
                     Request::Create {
                         filename,
                         params,
@@ -39,15 +49,26 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     }
                 }
             ),
-        (arb_string(), any::<u16>(), arb_string(), arb_string(), arb_string()).prop_map(
-            |(filterfile, port, logfile, descriptions, templates)| Request::CreateFilter {
-                filterfile,
-                port,
-                logfile,
-                descriptions,
-                templates,
-            }
-        ),
+        (
+            arb_string(),
+            any::<u16>(),
+            arb_string(),
+            arb_string(),
+            arb_string(),
+            1u32..16,
+        )
+            .prop_map(
+                |(filterfile, port, logfile, descriptions, templates, shards)| {
+                    Request::CreateFilter {
+                        filterfile,
+                        port,
+                        logfile,
+                        descriptions,
+                        templates,
+                        shards,
+                    }
+                }
+            ),
         (any::<u32>(), any::<u32>()).prop_map(|(p, f)| Request::SetFlags {
             pid: Pid(p),
             flags: MeterFlags::from_bits(f),
@@ -57,31 +78,33 @@ fn arb_request() -> impl Strategy<Value = Request> {
         any::<u32>().prop_map(|p| Request::Kill { pid: Pid(p) }),
         arb_string().prop_map(|path| Request::GetFile { path }),
         any::<u32>().prop_map(|p| Request::ClearMeter { pid: Pid(p) }),
-        (arb_string(), proptest::collection::vec(any::<u8>(), 0..200)).prop_map(
-            |(path, data)| Request::WriteFile { path, data }
-        ),
-        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..100)).prop_map(
-            |(p, data)| Request::SendInput { pid: Pid(p), data }
-        ),
+        (arb_string(), proptest::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(path, data)| Request::WriteFile { path, data }),
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..100))
+            .prop_map(|(p, data)| Request::SendInput { pid: Pid(p), data }),
         (any::<u32>(), 0u32..3).prop_map(|(p, s)| Request::StateChange {
             pid: Pid(p),
             state: s,
         }),
-        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..100)).prop_map(
-            |(p, data)| Request::IoData { pid: Pid(p), data }
-        ),
+        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..100))
+            .prop_map(|(p, data)| Request::IoData { pid: Pid(p), data }),
     ]
 }
 
 fn arb_reply() -> impl Strategy<Value = Reply> {
     prop_oneof![
-        (any::<u32>(), 0u32..5).prop_map(|(p, s)| Reply::Create {
+        (any::<u32>(), 0u32..8).prop_map(|(p, s)| Reply::Create {
             pid: Pid(p),
-            status: s,
+            status: RpcStatus::from(s),
         }),
-        (0u32..5).prop_map(|s| Reply::Ack { status: s }),
-        (0u32..5, proptest::collection::vec(any::<u8>(), 0..300)).prop_map(|(s, data)| {
-            Reply::File { status: s, data }
+        (0u32..8).prop_map(|s| Reply::Ack {
+            status: RpcStatus::from(s)
+        }),
+        (0u32..8, proptest::collection::vec(any::<u8>(), 0..300)).prop_map(|(s, data)| {
+            Reply::File {
+                status: RpcStatus::from(s),
+                data,
+            }
         }),
     ]
 }

@@ -182,10 +182,7 @@ mod tests {
         let mut m = NetConfig::ideal().latency_model(1);
         for _ in 0..100 {
             assert_eq!(m.sample_us(A, B), 1_000);
-            assert_eq!(
-                m.datagram_fate(A, B),
-                Fate::Deliver { latency_us: 1_000 }
-            );
+            assert_eq!(m.datagram_fate(A, B), Fate::Deliver { latency_us: 1_000 });
         }
     }
 

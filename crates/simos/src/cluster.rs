@@ -182,7 +182,13 @@ impl ClusterBuilder {
                 offset_us: rng.gen_range(0..2_000_000),
                 skew_ppm: rng.gen_range(-200..=200),
             });
-            machines.push(Machine::new(id, name.clone(), global.clone(), spec, &cluster));
+            machines.push(Machine::new(
+                id,
+                name.clone(),
+                global.clone(),
+                spec,
+                &cluster,
+            ));
         }
         *cluster.registry.write() = registry;
         *cluster.machines.write() = machines;
@@ -257,10 +263,7 @@ impl Cluster {
     ///
     /// Returns [`SysError::Enoent`] for an unknown host.
     pub fn resolve_host(&self, name: &str) -> SysResult<HostId> {
-        self.registry
-            .read()
-            .lookup(name)
-            .ok_or(SysError::Enoent)
+        self.registry.read().lookup(name).ok_or(SysError::Enoent)
     }
 
     /// The literal name of a host id.
@@ -290,7 +293,8 @@ impl Cluster {
     pub fn install_program_file(&self, machine: &str, path: &str, program: &str) -> bool {
         match self.machine(machine) {
             Some(m) => {
-                m.fs().write(path, format!("program:{program}").into_bytes());
+                m.fs()
+                    .write(path, format!("program:{program}").into_bytes());
                 true
             }
             None => false,
@@ -410,9 +414,7 @@ mod tests {
             offset_us: 5_000_000,
             skew_ppm: 0,
         };
-        let c = Cluster::builder()
-            .machine_with_clock("red", spec)
-            .build();
+        let c = Cluster::builder().machine_with_clock("red", spec).build();
         let m = c.machine("red").unwrap();
         assert_eq!(m.clock().spec(), spec);
         assert_eq!(m.clock().now_ms(), 5000);

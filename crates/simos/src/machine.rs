@@ -393,7 +393,9 @@ impl Machine {
         let mut actions: Vec<CloseAction> = Vec::new();
         {
             let mut k = self.kern.lock();
-            let Some(p) = k.procs.get_mut(&pid) else { return };
+            let Some(p) = k.procs.get_mut(&pid) else {
+                return;
+            };
             let socks = p.socket_descs();
             p.descs.clear();
             let meter_sock = p.meter_sock.take();
@@ -510,7 +512,11 @@ impl Machine {
 
     /// A copy of everything the process has written to its console.
     pub fn console_output(&self, pid: Pid) -> Option<Vec<u8>> {
-        self.kern.lock().procs.get(&pid).map(|p| p.console_out.clone())
+        self.kern
+            .lock()
+            .procs
+            .get(&pid)
+            .map(|p| p.console_out.clone())
     }
 
     /// Marks every live process for killing.
@@ -630,7 +636,9 @@ impl Machine {
         let mut k = self.kern.lock();
         let delivered = match k.socks.get_mut(&dst) {
             Some(sock) => match &mut sock.kind {
-                SockKind::Stream { rx, rx_floor_us, .. } => {
+                SockKind::Stream {
+                    rx, rx_floor_us, ..
+                } => {
                     let vis = visible_at_us.max(*rx_floor_us);
                     *rx_floor_us = vis;
                     rx.push_back(Segment {
@@ -744,7 +752,10 @@ impl Machine {
         let mut k = self.kern.lock();
         if let Some(s) = k.socks.get_mut(&sock) {
             if let SockKind::Stream { state, .. } = &mut s.kind {
-                if matches!(state, StreamState::Connected { .. } | StreamState::Connecting) {
+                if matches!(
+                    state,
+                    StreamState::Connected { .. } | StreamState::Connecting
+                ) {
                     *state = StreamState::PeerClosed;
                 }
             }

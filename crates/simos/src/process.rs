@@ -156,7 +156,11 @@ impl ProcEntry {
             uid,
             state: RunState::Embryo,
             name: name.into(),
-            descs: vec![Some(Desc::Console), Some(Desc::Console), Some(Desc::Console)],
+            descs: vec![
+                Some(Desc::Console),
+                Some(Desc::Console),
+                Some(Desc::Console),
+            ],
             cpu_us: 0,
             local_us: 0,
             syscall_count: 0,

@@ -259,10 +259,7 @@ impl Proc {
         let mut k = self.machine.kern.lock();
         let sid = k.fd_sock(self.pid, fd)?;
         let name = match (&to, k.sock_mut(sid)?.domain) {
-            (BindTo::Port(p), Domain::Inet) => SockName::Inet {
-                host,
-                port: *p,
-            },
+            (BindTo::Port(p), Domain::Inet) => SockName::Inet { host, port: *p },
             (BindTo::Path(p), Domain::Unix) => SockName::UnixPath(p.clone()),
             _ => return Err(SysError::Einval),
         };
@@ -729,7 +726,13 @@ impl Proc {
                     peer_name: Some(name_a),
                 }),
             ] {
-                plans.extend(metering::emit(&mut k, &self.machine, &cluster, self.pid, body));
+                plans.extend(metering::emit(
+                    &mut k,
+                    &self.machine,
+                    &cluster,
+                    self.pid,
+                    body,
+                ));
             }
             (fd_a, fd_b)
         };
@@ -796,17 +799,12 @@ impl Proc {
                 SockKind::Stream {
                     state, wr_closed, ..
                 } => match state {
-                    StreamState::Connected { .. } if *wr_closed => {
-                        return Err(SysError::Epipe)
-                    }
+                    StreamState::Connected { .. } if *wr_closed => return Err(SysError::Epipe),
                     StreamState::Connected { peer, .. } => {
                         let peer = *peer;
                         let latency = cluster.sample_latency(my_host, peer.host);
                         let t = k.proc_ref(self.pid)?.local_us + latency;
-                        Out::Stream {
-                            peer,
-                            visible: t,
-                        }
+                        Out::Stream { peer, visible: t }
                     }
                     StreamState::PeerClosed => return Err(SysError::Epipe),
                     _ => return Err(SysError::Enotconn),
@@ -998,7 +996,11 @@ impl Proc {
     /// # Errors
     ///
     /// As [`Proc::read`].
-    pub fn recvfrom_nb(&self, fd: Fd, max: usize) -> SysResult<Option<(Vec<u8>, Option<SockName>)>> {
+    pub fn recvfrom_nb(
+        &self,
+        fd: Fd,
+        max: usize,
+    ) -> SysResult<Option<(Vec<u8>, Option<SockName>)>> {
         self.recvfrom_inner(fd, max, false)
     }
 
@@ -1040,14 +1042,11 @@ impl Proc {
                         let sock = k.socks.get(&sid).ok_or(SysError::Ebadf)?;
                         match &sock.kind {
                             SockKind::Datagram { rx, .. } => {
-                                if let Some(t) =
-                                    rx.iter().map(|d| d.visible_at_us).min()
-                                {
+                                if let Some(t) = rx.iter().map(|d| d.visible_at_us).min() {
                                     if t <= now {
                                         ready.push(fd);
                                     } else {
-                                        earliest =
-                                            Some(earliest.map_or(t, |e: u64| e.min(t)));
+                                        earliest = Some(earliest.map_or(t, |e: u64| e.min(t)));
                                     }
                                 }
                             }
@@ -1055,14 +1054,11 @@ impl Proc {
                                 state, rx, rx_eof, ..
                             } => {
                                 if let StreamState::Listening { pending, .. } = state {
-                                    if let Some(t) =
-                                        pending.iter().map(|p| p.visible_at_us).min()
-                                    {
+                                    if let Some(t) = pending.iter().map(|p| p.visible_at_us).min() {
                                         if t <= now {
                                             ready.push(fd);
                                         } else {
-                                            earliest =
-                                                Some(earliest.map_or(t, |e: u64| e.min(t)));
+                                            earliest = Some(earliest.map_or(t, |e: u64| e.min(t)));
                                         }
                                     }
                                 } else if let Some(seg) = rx.front() {
@@ -1361,10 +1357,7 @@ impl Proc {
         let mut plans = Vec::new();
         let actions = {
             let mut k = self.machine.kern.lock();
-            let desc = k
-                .proc_mut(self.pid)?
-                .clear_fd(fd)
-                .ok_or(SysError::Ebadf)?;
+            let desc = k.proc_mut(self.pid)?.clear_fd(fd).ok_or(SysError::Ebadf)?;
             match desc {
                 Desc::Console => Vec::new(),
                 Desc::Sock(sid) => {
@@ -1500,12 +1493,7 @@ impl Proc {
     /// `ENOENT` if the file does not exist on this machine; `ENOEXEC`
     /// if it is not a valid program reference; `EBADF` for a bad
     /// `stdio` descriptor.
-    pub fn spawn_file(
-        &self,
-        path: &str,
-        args: Vec<String>,
-        stdio: Option<Fd>,
-    ) -> SysResult<Pid> {
+    pub fn spawn_file(&self, path: &str, args: Vec<String>, stdio: Option<Fd>) -> SysResult<Pid> {
         self.enter()?;
         let cluster = self.cluster();
         let contents = self

@@ -70,13 +70,7 @@ fn spawn_collector(cluster: &Arc<Cluster>, machine: &str, port: u16) -> (Pid, Ar
 /// Connects a stream socket to `(host, port)` and installs it as the
 /// meter socket of `target` with the given flags — what the
 /// meterdaemon does for every metered process.
-fn meter_process(
-    p: &Proc,
-    target: Pid,
-    flags: MeterFlags,
-    host: &str,
-    port: u16,
-) -> SysResult<()> {
+fn meter_process(p: &Proc, target: Pid, flags: MeterFlags, host: &str, port: u16) -> SysResult<()> {
     // Retry with real sleeps: the collector thread may not have bound
     // its port yet, and a refused connect would leave the suspended
     // target unstarted forever.
@@ -122,7 +116,14 @@ fn datagram_round_trip_carries_source_name() {
         .spawn_user("red", "tx", U, |p| {
             let s = p.socket(Domain::Inet, SockType::Datagram)?;
             let host = p.cluster().resolve_host("green")?;
-            p.sendto(s, b"query", &SockName::Inet { host: host.0, port: 53 })?;
+            p.sendto(
+                s,
+                b"query",
+                &SockName::Inet {
+                    host: host.0,
+                    port: 53,
+                },
+            )?;
             Ok(())
         })
         .unwrap();
@@ -149,7 +150,13 @@ fn datagram_connect_then_send_uses_default_peer() {
         .spawn_user("red", "tx", U, |p| {
             let s = p.socket(Domain::Inet, SockType::Datagram)?;
             let host = p.cluster().resolve_host("green")?;
-            p.connect(s, &SockName::Inet { host: host.0, port: 99 })?;
+            p.connect(
+                s,
+                &SockName::Inet {
+                    host: host.0,
+                    port: 99,
+                },
+            )?;
             p.write(s, b"hi")?;
             Ok(())
         })
@@ -236,7 +243,10 @@ fn lossy_network_drops_datagrams_but_never_stream_bytes() {
         .spawn_user("red", "tx", U, |p| {
             let s = p.socket(Domain::Inet, SockType::Datagram)?;
             let host = p.cluster().resolve_host("green")?;
-            let dest = SockName::Inet { host: host.0, port: 7 };
+            let dest = SockName::Inet {
+                host: host.0,
+                port: 7,
+            };
             for _ in 0..200 {
                 p.sendto(s, b"ping", &dest)?;
             }
@@ -263,7 +273,10 @@ fn connect_to_unbound_port_is_refused() {
     let c = cluster
         .spawn_user("red", "c", U, |p| {
             let s = p.socket(Domain::Inet, SockType::Stream)?;
-            assert_eq!(p.connect_host(s, "green", 12345), Err(SysError::Econnrefused));
+            assert_eq!(
+                p.connect_host(s, "green", 12345),
+                Err(SysError::Econnrefused)
+            );
             Ok(())
         })
         .unwrap();
@@ -318,7 +331,10 @@ fn unix_domain_sockets_work_within_a_machine() {
             p.bind(s, BindTo::Path("/tmp/srv".into()))?;
             p.listen(s, 1)?;
             let (conn, peer) = p.accept(s)?;
-            assert!(matches!(peer, SockName::Internal(_)), "auto-bound unix name");
+            assert!(
+                matches!(peer, SockName::Internal(_)),
+                "auto-bound unix name"
+            );
             assert_eq!(p.read(conn, 10)?, b"local");
             Ok(())
         })
@@ -428,7 +444,11 @@ fn stop_cont_kill_control_a_process() {
     };
     assert_eq!(red.proc_state(looper), Some(RunState::Stopped));
     std::thread::sleep(std::time::Duration::from_millis(5));
-    assert_eq!(red.proc_cpu_us(looper).unwrap(), cpu_at_stop, "stopped process burned CPU");
+    assert_eq!(
+        red.proc_cpu_us(looper).unwrap(),
+        cpu_at_stop,
+        "stopped process burned CPU"
+    );
     // Resume, verify progress, then kill.
     red.signal(None, looper, Sig::Cont).unwrap();
     while red.proc_cpu_us(looper).unwrap() == cpu_at_stop {
@@ -482,7 +502,11 @@ fn program_registry_spawn_file_and_console() {
     let cluster = two_machines();
     let red = cluster.machine("red").unwrap();
     cluster.register_program("greet", |p, args| {
-        let who = args.first().map(String::as_str).unwrap_or("world").to_owned();
+        let who = args
+            .first()
+            .map(String::as_str)
+            .unwrap_or("world")
+            .to_owned();
         p.write(1, format!("hello {who}\n").as_bytes())?;
         Ok(())
     });
@@ -499,9 +523,17 @@ fn program_registry_spawn_file_and_console() {
             let out = p.machine().console_output(child).unwrap();
             assert_eq!(String::from_utf8_lossy(&out), "hello unix\n");
             // Errors for bad files:
-            assert_eq!(p.spawn_file("/bin/missing", vec![], None), Err(SysError::Enoent));
-            p.machine().fs().write("/bin/junk", b"not a program".to_vec());
-            assert_eq!(p.spawn_file("/bin/junk", vec![], None), Err(SysError::Enoexec));
+            assert_eq!(
+                p.spawn_file("/bin/missing", vec![], None),
+                Err(SysError::Enoent)
+            );
+            p.machine()
+                .fs()
+                .write("/bin/junk", b"not a program".to_vec());
+            assert_eq!(
+                p.spawn_file("/bin/junk", vec![], None),
+                Err(SysError::Enoexec)
+            );
             Ok(())
         })
         .unwrap();
@@ -554,7 +586,14 @@ fn metered_workload(flags: MeterFlags, buffer_msgs: u32) -> Vec<MeterMsg> {
         let peer = p.socket(Domain::Inet, SockType::Datagram)?;
         let me = p.cluster().resolve_host("red")?;
         for i in 0..5u8 {
-            p.sendto(peer, &[i; 8], &SockName::Inet { host: me.0, port: 5555 })?;
+            p.sendto(
+                peer,
+                &[i; 8],
+                &SockName::Inet {
+                    host: me.0,
+                    port: 5555,
+                },
+            )?;
             let (_data, _src) = p.recvfrom(s, 64)?;
         }
         let d = p.dup(peer)?;
@@ -679,7 +718,11 @@ fn setmeter_permission_and_argument_errors() {
     let tester = red.spawn_fn("tester", Uid(100), None, true, move |p| {
         // Different uid: EPERM.
         assert_eq!(
-            p.setmeter(PidSel::Pid(victim), FlagSel::Set(MeterFlags::ALL), SockSel::NoChange),
+            p.setmeter(
+                PidSel::Pid(victim),
+                FlagSel::Set(MeterFlags::ALL),
+                SockSel::NoChange
+            ),
             Err(SysError::Eperm)
         );
         // Unknown pid: ESRCH.
@@ -689,7 +732,11 @@ fn setmeter_permission_and_argument_errors() {
         );
         // Bad socket descriptor: ESRCH ("the socket does not exist").
         assert_eq!(
-            p.setmeter(PidSel::Current, FlagSel::Set(MeterFlags::ALL), SockSel::Fd(77)),
+            p.setmeter(
+                PidSel::Current,
+                FlagSel::Set(MeterFlags::ALL),
+                SockSel::Fd(77)
+            ),
             Err(SysError::Esrch)
         );
         // Wrong kind of socket: EINVAL.
@@ -704,10 +751,22 @@ fn setmeter_permission_and_argument_errors() {
             Err(SysError::Einval)
         );
         // Setting flags on self works; Set replaces, None clears.
-        p.setmeter(PidSel::Current, FlagSel::Set(MeterFlags::SEND), SockSel::NoChange)?;
+        p.setmeter(
+            PidSel::Current,
+            FlagSel::Set(MeterFlags::SEND),
+            SockSel::NoChange,
+        )?;
         assert_eq!(p.getmeter(PidSel::Current)?, MeterFlags::SEND);
-        p.setmeter(PidSel::Current, FlagSel::Set(MeterFlags::FORK), SockSel::NoChange)?;
-        assert_eq!(p.getmeter(PidSel::Current)?, MeterFlags::FORK, "Set must replace");
+        p.setmeter(
+            PidSel::Current,
+            FlagSel::Set(MeterFlags::FORK),
+            SockSel::NoChange,
+        )?;
+        assert_eq!(
+            p.getmeter(PidSel::Current)?,
+            MeterFlags::FORK,
+            "Set must replace"
+        );
         p.setmeter(PidSel::Current, FlagSel::None, SockSel::NoChange)?;
         assert_eq!(p.getmeter(PidSel::Current)?, MeterFlags::NONE);
         Ok(())
@@ -727,7 +786,11 @@ fn root_may_meter_anyone() {
         Ok(())
     });
     let root = red.spawn_fn("root", Uid::ROOT, None, true, move |p| {
-        p.setmeter(PidSel::Pid(victim), FlagSel::Set(MeterFlags::ALL), SockSel::NoChange)?;
+        p.setmeter(
+            PidSel::Pid(victim),
+            FlagSel::Set(MeterFlags::ALL),
+            SockSel::NoChange,
+        )?;
         p.kill(victim, Sig::Cont)?;
         Ok(())
     });
@@ -815,13 +878,25 @@ fn accept_and_connect_events_pair_by_names() {
         Ok(())
     });
     let daemon_r = red.spawn_fn("daemon-r", U, None, true, move |p| {
-        meter_process(&p, server, MeterFlags::ALL | MeterFlags::IMMEDIATE, "green", 4300)?;
+        meter_process(
+            &p,
+            server,
+            MeterFlags::ALL | MeterFlags::IMMEDIATE,
+            "green",
+            4300,
+        )?;
         p.kill(server, Sig::Cont)?;
         Ok(())
     });
     red.wait_exit(daemon_r);
     let daemon_g = green.spawn_fn("daemon-g", U, None, true, move |p| {
-        meter_process(&p, client, MeterFlags::ALL | MeterFlags::IMMEDIATE, "green", 4300)?;
+        meter_process(
+            &p,
+            client,
+            MeterFlags::ALL | MeterFlags::IMMEDIATE,
+            "green",
+            4300,
+        )?;
         p.kill(client, Sig::Cont)?;
         Ok(())
     });

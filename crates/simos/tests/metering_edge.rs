@@ -68,7 +68,11 @@ fn unconnected_meter_socket_loses_messages_silently() {
     let setup = work.spawn_fn("setup", U, None, true, move |p| {
         // A never-connected Internet stream socket is *accepted*.
         let s = p.socket(Domain::Inet, SockType::Stream)?;
-        p.setmeter(PidSel::Pid(worker), FlagSel::Set(MeterFlags::ALL), SockSel::Fd(s))?;
+        p.setmeter(
+            PidSel::Pid(worker),
+            FlagSel::Set(MeterFlags::ALL),
+            SockSel::Fd(s),
+        )?;
         p.close(s)?;
         p.kill(worker, Sig::Cont)?;
         Ok(())
@@ -254,7 +258,10 @@ fn filter_death_does_not_disturb_the_metered_process() {
         "worker unaffected by the filter hanging up"
     );
     mon.wait_exit(cpid);
-    assert!(*quit.lock() > 0, "at least one frame arrived before the hangup");
+    assert!(
+        *quit.lock() > 0,
+        "at least one frame arrived before the hangup"
+    );
     c.shutdown();
 }
 
@@ -333,9 +340,19 @@ fn switching_meter_sockets_loses_nothing() {
     let m1 = MeterMsg::decode_all(&buf1.lock()).unwrap();
     let m2 = MeterMsg::decode_all(&buf2.lock()).unwrap();
     c.shutdown();
-    let socks1 = m1.iter().filter(|m| m.header.trace_type == trace_type::SOCKET).count();
-    let socks2 = m2.iter().filter(|m| m.header.trace_type == trace_type::SOCKET).count();
-    assert_eq!(socks1 + socks2, 12, "all 12 socket events captured: {socks1}+{socks2}");
+    let socks1 = m1
+        .iter()
+        .filter(|m| m.header.trace_type == trace_type::SOCKET)
+        .count();
+    let socks2 = m2
+        .iter()
+        .filter(|m| m.header.trace_type == trace_type::SOCKET)
+        .count();
+    assert_eq!(
+        socks1 + socks2,
+        12,
+        "all 12 socket events captured: {socks1}+{socks2}"
+    );
     assert!(socks1 >= 5, "first filter got the first phase");
     assert!(socks2 >= 1, "second filter got the tail");
 }

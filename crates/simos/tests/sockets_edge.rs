@@ -168,7 +168,10 @@ fn datagram_reads_truncate_to_the_buffer() {
             p.bind(rx, BindTo::Port(3300))?;
             let tx = p.socket(Domain::Inet, SockType::Datagram)?;
             let me = p.cluster().resolve_host("a")?;
-            let dest = SockName::Inet { host: me.0, port: 3300 };
+            let dest = SockName::Inet {
+                host: me.0,
+                port: 3300,
+            };
             p.sendto(tx, b"0123456789", &dest)?;
             p.sendto(tx, b"second", &dest)?;
             let (d1, _) = p.recvfrom(rx, 4)?;
@@ -357,7 +360,14 @@ fn select_multiplexes_datagram_stream_and_listener() {
             // 1. Datagram readiness.
             let me = p.cluster().resolve_host("a")?;
             let tx = p.socket(Domain::Inet, SockType::Datagram)?;
-            p.sendto(tx, b"dgram", &SockName::Inet { host: me.0, port: 3700 })?;
+            p.sendto(
+                tx,
+                b"dgram",
+                &SockName::Inet {
+                    host: me.0,
+                    port: 3700,
+                },
+            )?;
             let ready = p.select(&[dg, listener, sa])?;
             assert_eq!(ready, vec![dg]);
             let (d, _) = p.recvfrom(dg, 64)?;

@@ -26,10 +26,7 @@ pub const B_PORT: u16 = 1700;
 /// Propagates socket errors; fails if `B` never comes up.
 pub fn a_main(p: Proc, args: Vec<String>) -> SysResult<()> {
     let host = args.first().map_or("green", String::as_str).to_owned();
-    let port: u16 = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(B_PORT);
+    let port: u16 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(B_PORT);
     let rounds: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
 
     // Fork a helper so the fork flag of the Appendix-B session has an
@@ -62,10 +59,7 @@ pub fn a_main(p: Proc, args: Vec<String>) -> SysResult<()> {
 ///
 /// Propagates socket errors.
 pub fn b_main(p: Proc, args: Vec<String>) -> SysResult<()> {
-    let port: u16 = args
-        .first()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(B_PORT);
+    let port: u16 = args.first().and_then(|s| s.parse().ok()).unwrap_or(B_PORT);
     let s = p.socket(Domain::Inet, SockType::Stream)?;
     p.bind(s, BindTo::Port(port))?;
     p.listen(s, 4)?;

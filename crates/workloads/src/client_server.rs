@@ -122,12 +122,28 @@ mod tests {
             .unwrap();
         let c1 = c
             .spawn_user("green", "client", Uid(1), |p| {
-                client_main(p, vec!["red".into(), SERVER_PORT.to_string(), "3".into(), "32".into()])
+                client_main(
+                    p,
+                    vec![
+                        "red".into(),
+                        SERVER_PORT.to_string(),
+                        "3".into(),
+                        "32".into(),
+                    ],
+                )
             })
             .unwrap();
         let c2 = c
             .spawn_user("blue", "client", Uid(1), |p| {
-                client_main(p, vec!["red".into(), SERVER_PORT.to_string(), "3".into(), "128".into()])
+                client_main(
+                    p,
+                    vec![
+                        "red".into(),
+                        SERVER_PORT.to_string(),
+                        "3".into(),
+                        "128".into(),
+                    ],
+                )
             })
             .unwrap();
         assert_eq!(

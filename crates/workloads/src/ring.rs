@@ -80,7 +80,9 @@ pub fn ring_main(p: Proc, args: Vec<String>) -> SysResult<()> {
 
         // Wait for a token (blocking is fine: the holder retransmits).
         let (data, src) = p.recvfrom(sock, 64)?;
-        let Some(hops) = parse_token(&data) else { continue };
+        let Some(hops) = parse_token(&data) else {
+            continue;
+        };
         if let Some(src) = &src {
             p.sendto(sock, b"ack", src)?;
         }
@@ -118,7 +120,10 @@ pub fn ring_main(p: Proc, args: Vec<String>) -> SysResult<()> {
         }
     }
 
-    p.write(1, format!("node {index} saw {tokens_seen} tokens\n").as_bytes())?;
+    p.write(
+        1,
+        format!("node {index} saw {tokens_seen} tokens\n").as_bytes(),
+    )?;
     Ok(())
 }
 

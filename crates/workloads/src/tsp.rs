@@ -57,7 +57,15 @@ pub fn solve(dist: &[Vec<u32>], prefix: &[usize], bound: u32) -> (u32, u64) {
     let mut best = bound;
     let mut nodes = 0u64;
     let last = *prefix.last().expect("nonempty prefix");
-    dfs(dist, &mut visited, last, len, prefix.len(), &mut best, &mut nodes);
+    dfs(
+        dist,
+        &mut visited,
+        last,
+        len,
+        prefix.len(),
+        &mut best,
+        &mut nodes,
+    );
     (best, nodes)
 }
 
@@ -85,7 +93,15 @@ fn dfs(
     for next in 1..n {
         if !visited[next] {
             visited[next] = true;
-            dfs(dist, visited, next, len + dist[at][next], depth + 1, best, nodes);
+            dfs(
+                dist,
+                visited,
+                next,
+                len + dist[at][next],
+                depth + 1,
+                best,
+                nodes,
+            );
             visited[next] = false;
         }
     }
@@ -153,7 +169,10 @@ pub fn master_main(p: Proc, args: Vec<String>) -> SysResult<()> {
             let mut it = line.split_whitespace();
             match it.next() {
                 Some("best") => {
-                    let len: u32 = it.next().and_then(|v| v.parse().ok()).ok_or(SysError::Einval)?;
+                    let len: u32 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or(SysError::Einval)?;
                     best = best.min(len);
                     outstanding -= 1;
                     idle.push(conn);
@@ -185,10 +204,22 @@ pub fn worker_main(p: Proc, args: Vec<String>) -> SysResult<()> {
         let mut it = line.split_whitespace();
         match it.next() {
             Some("task") => {
-                let n: usize = it.next().and_then(|v| v.parse().ok()).ok_or(SysError::Einval)?;
-                let seed: u64 = it.next().and_then(|v| v.parse().ok()).ok_or(SysError::Einval)?;
-                let k: usize = it.next().and_then(|v| v.parse().ok()).ok_or(SysError::Einval)?;
-                let bound: u32 = it.next().and_then(|v| v.parse().ok()).ok_or(SysError::Einval)?;
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(SysError::Einval)?;
+                let seed: u64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(SysError::Einval)?;
+                let k: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(SysError::Einval)?;
+                let bound: u32 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(SysError::Einval)?;
                 let d = match &dist {
                     Some((d, dn, ds)) if *dn == n && *ds == seed => d,
                     _ => {

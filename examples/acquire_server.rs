@@ -36,14 +36,12 @@ fn main() {
 
     // A selection-rules template on the controller's machine: keep
     // sends of >= 64 bytes (discarding pc), accepts, and forks.
-    sim.cluster()
-        .machine("yellow")
-        .unwrap()
-        .fs()
-        .write(
-            "templates",
-            "type=1, size>=64, pc=#*\ntype=8, pc=#*\ntype=7, pc=#*\n".as_bytes().to_vec(),
-        );
+    sim.cluster().machine("yellow").unwrap().fs().write(
+        "templates",
+        "type=1, size>=64, pc=#*\ntype=8, pc=#*\ntype=7, pc=#*\n"
+            .as_bytes()
+            .to_vec(),
+    );
 
     control.exec("filter f1 blue /bin/filter descriptions templates");
     control.exec("newjob watch");

@@ -61,7 +61,9 @@ fn main() {
         "datagram sends: {sends}; never received: {lost} ({:.1}% — the loss the ring retransmitted through)",
         100.0 * lost as f64 / sends.max(1) as f64
     );
-    let skews = analysis.hb.skew_evidence(&analysis.trace, &analysis.pairing);
+    let skews = analysis
+        .hb
+        .skew_evidence(&analysis.trace, &analysis.pairing);
     println!(
         "messages whose receive is stamped before its send (clock skew): {}",
         skews.len()

@@ -12,8 +12,8 @@
 //! cargo run --example tsp
 //! ```
 
-use dpm::{Analysis, Simulation};
 use dpm::crates::workloads::tsp;
+use dpm::{Analysis, Simulation};
 
 fn main() {
     let sim = Simulation::builder()
@@ -30,8 +30,14 @@ fn main() {
         "addprocess tsp red /bin/tsp-master {} {cities} 2 {seed}",
         tsp::TSP_PORT
     ));
-    control.exec(&format!("addprocess tsp green /bin/tsp-worker red {}", tsp::TSP_PORT));
-    control.exec(&format!("addprocess tsp blue /bin/tsp-worker red {}", tsp::TSP_PORT));
+    control.exec(&format!(
+        "addprocess tsp green /bin/tsp-worker red {}",
+        tsp::TSP_PORT
+    ));
+    control.exec(&format!(
+        "addprocess tsp blue /bin/tsp-worker red {}",
+        tsp::TSP_PORT
+    ));
     control.exec("setflags tsp all");
     control.exec("startjob tsp");
     assert!(control.wait_job("tsp", 120_000), "tsp job completed");

@@ -59,10 +59,7 @@ fn main() {
     }
     if want_timeline {
         println!("--- timeline (10 ms buckets, per-machine clocks) ---");
-        print!(
-            "{}",
-            dpm::crates::analysis::Timeline::analyze(&a.trace, 10)
-        );
+        print!("{}", dpm::crates::analysis::Timeline::analyze(&a.trace, 10));
     }
     // Clock-offset estimates between machine pairs, when derivable.
     if !a.stats.clock_offsets.is_empty() {

@@ -65,15 +65,13 @@ fn main() {
         if let Some(rest) = line.strip_prefix("export ") {
             let mut it = rest.split_whitespace();
             match (it.next(), it.next()) {
-                (Some(sim_path), Some(real_path)) => {
-                    match sim.local_file(&control, sim_path) {
-                        Some(data) => match std::fs::write(real_path, data) {
-                            Ok(()) => println!("exported {sim_path} -> {real_path}"),
-                            Err(e) => println!("cannot write {real_path}: {e}"),
-                        },
-                        None => println!("no local file '{sim_path}' — run getlog first"),
-                    }
-                }
+                (Some(sim_path), Some(real_path)) => match sim.local_file(&control, sim_path) {
+                    Some(data) => match std::fs::write(real_path, data) {
+                        Ok(()) => println!("exported {sim_path} -> {real_path}"),
+                        Err(e) => println!("cannot write {real_path}: {e}"),
+                    },
+                    None => println!("no local file '{sim_path}' — run getlog first"),
+                },
                 _ => println!("usage: export <simfile> <realfile>"),
             }
             continue;

@@ -14,7 +14,8 @@ fn stop_resume_remove_cycle() {
     sim.cluster().register_program("spin", |p, _| loop {
         p.compute_ms(1)?;
     });
-    sim.cluster().install_program_file("red", "/bin/spin", "spin");
+    sim.cluster()
+        .install_program_file("red", "/bin/spin", "spin");
 
     let mut control = sim.controller("yellow").expect("controller");
     control.exec("filter f1 red");
@@ -152,7 +153,8 @@ fn die_warns_once_when_processes_are_active() {
     sim.cluster().register_program("spin", |p, _| loop {
         p.compute_ms(1)?;
     });
-    sim.cluster().install_program_file("red", "/bin/spin", "spin");
+    sim.cluster()
+        .install_program_file("red", "/bin/spin", "spin");
     let mut control = sim.controller("yellow").expect("controller");
     control.exec("filter f1 red");
     control.exec("newjob j");
@@ -209,7 +211,8 @@ fn input_command_feeds_a_process_and_its_output_reaches_the_transcript() {
         }
         Ok(())
     });
-    sim.cluster().install_program_file("red", "/bin/shout", "shout");
+    sim.cluster()
+        .install_program_file("red", "/bin/shout", "shout");
 
     let mut control = sim.controller("yellow").expect("controller");
     control.exec("filter f1 red");
@@ -301,7 +304,8 @@ fn removeprocess_removes_one_process_and_respects_states() {
     sim.cluster().register_program("spin2", |p, _| loop {
         p.compute_ms(1)?;
     });
-    sim.cluster().install_program_file("red", "/bin/spin2", "spin2");
+    sim.cluster()
+        .install_program_file("red", "/bin/spin2", "spin2");
     let mut control = sim.controller("yellow").expect("controller");
     control.exec("filter f1 red");
     control.exec("newjob j");

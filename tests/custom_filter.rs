@@ -23,7 +23,10 @@ fn a_user_written_filter_runs_in_place_of_the_standard_one() {
     sim.cluster().register_program("censusfilter", |p, args| {
         let port: u16 = args[0].parse().unwrap_or(0);
         let logfile = args.get(1).cloned().unwrap_or_else(|| "census".into());
-        let l = p.socket(dpm::crates::simos::Domain::Inet, dpm::crates::simos::SockType::Stream)?;
+        let l = p.socket(
+            dpm::crates::simos::Domain::Inet,
+            dpm::crates::simos::SockType::Stream,
+        )?;
         p.bind(l, dpm::crates::simos::BindTo::Port(port))?;
         p.listen(l, 8)?;
         loop {
@@ -91,7 +94,10 @@ fn a_user_written_filter_runs_in_place_of_the_standard_one() {
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
     assert!(census.contains("send"), "census counts sends: {census:?}");
-    assert!(census.contains("receive"), "census counts receives: {census:?}");
+    assert!(
+        census.contains("receive"),
+        "census counts receives: {census:?}"
+    );
 
     control.exec("die");
     sim.shutdown();

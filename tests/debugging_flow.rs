@@ -5,7 +5,7 @@
 //! the tool").
 
 use dpm::crates::simos::{BindTo, Domain, SockType};
-use dpm::{SockName, Simulation};
+use dpm::{Simulation, SockName};
 
 #[test]
 fn a_hung_computation_is_diagnosed_from_its_trace() {
@@ -19,7 +19,14 @@ fn a_hung_computation_is_diagnosed_from_its_trace() {
     sim.cluster().register_program("buggy-sender", |p, _| {
         let s = p.socket(Domain::Inet, SockType::Datagram)?;
         let host = p.cluster().resolve_host("green")?;
-        p.sendto(s, b"where are you", &SockName::Inet { host: host.0, port: 4242 })?;
+        p.sendto(
+            s,
+            b"where are you",
+            &SockName::Inet {
+                host: host.0,
+                port: 4242,
+            },
+        )?;
         Ok(())
     });
     sim.cluster().register_program("stuck-receiver", |p, _| {

@@ -74,7 +74,10 @@ fn sessions_survive_a_lossy_network() {
     // accept/connect included so the analysis can pair the streams.
     control.exec("setflags foo send receive accept connect");
     control.exec("startjob foo");
-    assert!(control.wait_job("foo", 120_000), "job completed over a lossy net");
+    assert!(
+        control.wait_job("foo", 120_000),
+        "job completed over a lossy net"
+    );
     control.exec("removejob foo");
     let a = sim.analyze_log(&mut control, "f1");
     assert!(a.stats.matched > 0, "trace intact");

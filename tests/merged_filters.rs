@@ -42,7 +42,12 @@ fn two_filters_logs_merge_into_one_coherent_trace() {
     let joint = Analysis::of_trace(merged);
     // Both computations' connections pair in the joint trace, and each
     // job's conversation still matches in full.
-    assert_eq!(joint.pairing.connections.len(), 2, "{:?}", joint.pairing.connections);
+    assert_eq!(
+        joint.pairing.connections.len(),
+        2,
+        "{:?}",
+        joint.pairing.connections
+    );
     let solo = Analysis::of_log(&log_a);
     assert!(joint.stats.matched >= 2 * solo.stats.matched.min(1));
     // Four application processes in the joint structural view.

@@ -20,7 +20,11 @@ fn run(templates: &str) -> Analysis {
     control.exec("newjob pipe");
     let hosts = ["a", "b", "c"];
     for (i, host) in hosts.iter().enumerate() {
-        let next = if i + 1 < hosts.len() { hosts[i + 1] } else { "-" };
+        let next = if i + 1 < hosts.len() {
+            hosts[i + 1]
+        } else {
+            "-"
+        };
         control.exec(&format!(
             "addprocess pipe {host} /bin/stage {i} 3 {next} 12 1"
         ));
@@ -39,7 +43,11 @@ fn run(templates: &str) -> Analysis {
 fn unfiltered_pipeline_trace_shows_three_stages() {
     let a = run("");
     let procs = a.structure.processes.len();
-    assert_eq!(procs, 3, "three stages in the trace: {:?}", a.structure.processes);
+    assert_eq!(
+        procs, 3,
+        "three stages in the trace: {:?}",
+        a.structure.processes
+    );
     // Stage 0 → stage 1 → stage 2 communication edges exist.
     assert!(a.structure.edges.len() >= 2, "{:?}", a.structure.edges);
     // Items flow: every inter-stage send was received (streams). The

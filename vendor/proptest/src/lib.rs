@@ -1,0 +1,862 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build image has no crates.io access, so the workspace patches
+//! `proptest` to this shim (see `[patch.crates-io]` in the root
+//! `Cargo.toml`). It keeps the subset of the API the workspace's
+//! property tests use — the `proptest!` macro, `Strategy` with
+//! `prop_map` / `prop_filter` / `boxed`, `any::<T>()`, `Just`,
+//! `prop_oneof!`, integer range strategies, tuples, `collection::vec`,
+//! `option::of`, and `[class]{m,n}`-style string strategies — and runs
+//! each test as a fixed number of deterministic random cases seeded
+//! from the test name. There is no shrinking: a failing case reports
+//! its inputs via the `prop_assert*` message and the case index.
+
+pub mod test_runner {
+    //! Deterministic case runner and failure plumbing.
+
+    use std::fmt;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The case failed an assertion; the test as a whole fails.
+        Fail(String),
+        /// The case was rejected (e.g. `prop_assume!`); retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed assertion.
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejected (skipped) case.
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            }
+        }
+    }
+
+    /// Result of one generated case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic SplitMix64 generator used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from a test name (deterministic across
+        /// runs; independent of other tests).
+        pub fn seed_from_name(name: &str) -> TestRng {
+            // FNV-1a, then scramble so short names diverge.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            self.next_u64() % bound
+        }
+    }
+
+    /// How many cases each property runs (override with
+    /// `PROPTEST_CASES`).
+    pub fn case_count() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Runs `f` for [`case_count`] accepted cases, panicking on the
+    /// first failure. Rejected cases are retried with a global cap so
+    /// over-restrictive filters surface as errors rather than loops.
+    pub fn run<F>(name: &str, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        let cases = case_count();
+        let mut rng = TestRng::seed_from_name(name);
+        let mut accepted = 0usize;
+        let mut rejected = 0usize;
+        while accepted < cases {
+            match f(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(reason)) => {
+                    rejected += 1;
+                    if rejected > cases.saturating_mul(16).max(1024) {
+                        panic!(
+                            "proptest stub: `{name}` rejected too many cases \
+                             ({rejected}) — last reason: {reason}"
+                        );
+                    }
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest stub: `{name}` failed at case {accepted}: {reason}\n\
+                         (deterministic seed — rerun reproduces; no shrinking)"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and the combinators the workspace uses.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree and no
+    /// shrinking: `draw` produces one concrete value.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn draw(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, f }
+        }
+
+        /// Keeps only values `f` accepts, retrying locally.
+        fn prop_filter<R, F>(self, reason: R, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            R: std::fmt::Display,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                reason: reason.to_string(),
+                f,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn draw(&self, rng: &mut TestRng) -> S::Value {
+            (**self).draw(rng)
+        }
+    }
+
+    /// Always generates a clone of the wrapped value.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn draw(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn draw(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.draw(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Debug, Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        reason: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn draw(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.source.draw(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "proptest stub: prop_filter({:?}) rejected 1000 draws in a row",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniformly (or weight-proportionally) picks one of several
+    /// strategies per draw. Built by [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total_weight: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Equal-weight arms.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            Union::new_weighted(arms.into_iter().map(|s| (1, s)).collect())
+        }
+
+        /// Weight-annotated arms.
+        pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+            Union { arms, total_weight }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn draw(&self, rng: &mut TestRng) -> V {
+            let mut pick = rng.below(self.total_weight);
+            for (w, arm) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return arm.draw(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights were exhausted before the arms")
+        }
+    }
+
+    /// Types [`any`] can generate.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy produced by [`any`]. `Copy` so one binding can seed
+    /// many tuple slots.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<T> Copy for Any<T> {}
+
+    /// An arbitrary value of `T`, biased toward edge cases.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn draw(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // ~1/4 of draws are boundary values: generated
+                    // protocol fields hit 0 / 1 / MIN / MAX often.
+                    match rng.below(16) {
+                        0 => 0,
+                        1 => 1,
+                        2 => <$t>::MAX,
+                        3 => <$t>::MIN,
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn draw(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "cannot sample empty range strategy"
+                    );
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128
+                        + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn draw(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn draw(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.draw(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+
+    /// `&'static str` patterns act as string strategies. Only the
+    /// regex subset the workspace uses is supported — `[class]{m,n}`,
+    /// `\PC{m,n}` (printable ASCII), literal characters and escapes,
+    /// and non-capturing repetition groups `(…){m,n}`; anything else
+    /// panics loudly.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn draw(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            gen_pattern(self, self, rng, &mut out);
+            out
+        }
+    }
+
+    /// Walks `pattern` left to right, appending generated text to
+    /// `out`. `whole` is only for error messages.
+    fn gen_pattern(whole: &str, pattern: &str, rng: &mut TestRng, out: &mut String) {
+        let unsupported = || -> ! {
+            panic!(
+                "proptest stub: unsupported string pattern {whole:?} \
+                 (only `[class]{{m,n}}`, `\\PC{{m,n}}`, literals and \
+                 `(…){{m,n}}` groups are implemented)"
+            )
+        };
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '(' => {
+                    // Find the matching `)` (no nesting needed).
+                    let close = pattern[i + 1..]
+                        .find(')')
+                        .map(|k| i + 1 + k)
+                        .unwrap_or_else(|| unsupported());
+                    let inner = &pattern[i + 1..close];
+                    let (lo, hi, after) = parse_counts(pattern, close + 1)
+                        .unwrap_or_else(|| unsupported());
+                    let reps = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    for _ in 0..reps {
+                        gen_pattern(whole, inner, rng, out);
+                    }
+                    i = after;
+                }
+                '[' => {
+                    let close = pattern[i + 1..]
+                        .find(']')
+                        .map(|k| i + 1 + k)
+                        .unwrap_or_else(|| unsupported());
+                    let alphabet = expand_class(&pattern[i + 1..close])
+                        .unwrap_or_else(|| unsupported());
+                    let (lo, hi, after) = parse_counts(pattern, close + 1)
+                        .unwrap_or_else(|| unsupported());
+                    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    out.extend(
+                        (0..len).map(|_| alphabet[rng.below(alphabet.len() as u64) as usize]),
+                    );
+                    i = after;
+                }
+                '\\' if i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C' => {
+                    // `\PC`: any printable char; the stub draws ASCII.
+                    let (lo, hi, after) = parse_counts(pattern, i + 3)
+                        .unwrap_or((1, 1, i + 3));
+                    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+                    out.extend((0..len).map(|_| (b' ' + rng.below(95) as u8) as char));
+                    i = after;
+                }
+                '\\' if i + 1 < chars.len() => {
+                    out.push(match chars[i + 1] {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        c @ ('\\' | '.' | '(' | ')' | '[' | ']' | '{' | '}') => c,
+                        _ => unsupported(),
+                    });
+                    i += 2;
+                }
+                c @ (')' | ']' | '{' | '}' | '*' | '+' | '?' | '|') => {
+                    let _ = c;
+                    unsupported()
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// Parses a `{m,n}` / `{n}` suffix starting at byte `at`; returns
+    /// `(lo, hi, index_after)`.
+    fn parse_counts(pattern: &str, at: usize) -> Option<(usize, usize, usize)> {
+        let rest = pattern.get(at..)?;
+        let rest = rest.strip_prefix('{')?;
+        let close = rest.find('}')?;
+        let counts = &rest[..close];
+        let (lo, hi) = match counts.split_once(',') {
+            Some((a, b)) => (a.trim().parse().ok()?, b.trim().parse().ok()?),
+            None => {
+                let n: usize = counts.trim().parse().ok()?;
+                (n, n)
+            }
+        };
+        if lo > hi {
+            return None;
+        }
+        Some((lo, hi, at + 1 + close + 1))
+    }
+
+    /// Expands a character class body (`a-z0-9_`) into its alphabet.
+    fn expand_class(class: &str) -> Option<Vec<char>> {
+        let class: Vec<char> = class.chars().collect();
+        if class.is_empty() {
+            return None;
+        }
+        let mut alphabet = Vec::new();
+        let mut i = 0;
+        while i < class.len() {
+            if i + 2 < class.len() && class[i + 1] == '-' {
+                let (a, b) = (class[i], class[i + 2]);
+                if a > b {
+                    return None;
+                }
+                alphabet.extend(a..=b);
+                i += 3;
+            } else if i + 2 == class.len() && class[i + 1] == '-' {
+                // `x-` at the very end: literal char then literal dash.
+                alphabet.push(class[i]);
+                alphabet.push('-');
+                i += 2;
+            } else {
+                alphabet.push(class[i]);
+                i += 1;
+            }
+        }
+        Some(alphabet)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::test_runner::TestRng;
+
+        #[test]
+        fn class_pattern_parses() {
+            let chars = expand_class("a-z/._-").expect("class");
+            assert!(chars.contains(&'a') && chars.contains(&'z'));
+            assert!(chars.contains(&'-') && chars.contains(&'/'));
+            assert!(!chars.contains(&'A'));
+            assert_eq!(parse_counts("x{1,14}", 1), Some((1, 14, 7)));
+        }
+
+        #[test]
+        fn grouped_pattern_generates_lines() {
+            let mut rng = TestRng::seed_from_name("lines");
+            for _ in 0..100 {
+                let s = "(\\PC{0,40}\n){0,20}".draw(&mut rng);
+                assert!(s.is_empty() || s.ends_with('\n'));
+                for line in s.lines() {
+                    assert!(line.len() <= 40);
+                    assert!(line.chars().all(|c| (' '..='~').contains(&c)));
+                }
+                assert!(s.lines().count() <= 20);
+            }
+        }
+
+        #[test]
+        fn string_strategy_respects_bounds() {
+            let mut rng = TestRng::seed_from_name("bounds");
+            for _ in 0..200 {
+                let s = "[a-zA-Z0-9/._-]{0,40}".draw(&mut rng);
+                assert!(s.len() <= 40);
+                assert!(s
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "/._-".contains(c)));
+            }
+        }
+
+        #[test]
+        fn union_and_filter_compose() {
+            let mut rng = TestRng::seed_from_name("union");
+            let s = crate::prop_oneof![Just(1u32), (10u32..20).prop_map(|v| v * 2)]
+                .prop_filter("even", |v| *v % 2 == 0);
+            for _ in 0..100 {
+                let v = s.draw(&mut rng);
+                assert!(v % 2 == 0 && v < 40);
+            }
+        }
+
+        #[test]
+        fn tuples_and_ranges_draw() {
+            let mut rng = TestRng::seed_from_name("tuple");
+            let u = any::<u32>();
+            let s = (u, u, 1u32..=2).prop_map(|(a, b, c)| (a, b, c));
+            let (_, _, c) = s.draw(&mut rng);
+            assert!((1..=2).contains(&c));
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec` only).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` of values drawn from `element`, with a length drawn
+    /// uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn draw(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.draw(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies (`of` only).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` of a drawn value three times out of four, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn draw(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.draw(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    /// `prop::collection::vec(..)`-style paths.
+    pub use crate as prop;
+}
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies; each runs [`test_runner::case_count`] deterministic
+/// cases.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                |rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::draw(&($strat), rng);
+                    )+
+                    let case = || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    case()
+                },
+            );
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Picks one of several strategies per draw; arms may optionally be
+/// weighted with `weight => strategy`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(::std::vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// `assert!` that fails the current generated case instead of
+/// panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!(
+            $cond,
+            concat!("assertion failed: ", stringify!($cond))
+        )
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` for generated cases; reports both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), lhs, rhs
+        );
+    }};
+}
+
+/// `assert_ne!` for generated cases.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs
+        );
+    }};
+}
+
+/// Skips the current generated case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::reject(
+                    concat!("assumption failed: ", stringify!($cond)),
+                ),
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn drawn_values_obey_strategies(
+            a in any::<u32>(),
+            v in prop::collection::vec(1u64..10, 0..5),
+            s in "[a-z]{1,4}",
+            o in prop::option::of(Just(7u8)),
+        ) {
+            prop_assert!(u64::from(a) <= u64::from(u32::MAX));
+            prop_assert!(v.len() < 5);
+            for x in &v {
+                prop_assert!((1..10).contains(x));
+            }
+            prop_assert!((1..=4).contains(&s.len()));
+            prop_assert!(o.is_none() || o == Some(7));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        crate::test_runner::run("always_fails", |_rng| {
+            crate::test_runner::TestCaseResult::Err(
+                crate::test_runner::TestCaseError::fail("boom"),
+            )
+        });
+    }
+}
