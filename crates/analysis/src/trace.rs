@@ -8,7 +8,8 @@
 //! [`Event`]s. A process is identified by `(machine, pid)` because pid
 //! uniqueness is per machine in 4.2BSD.
 
-use dpm_filter::LogRecord;
+use dpm_filter::{Descriptions, LogRecord};
+use dpm_logstore::{Frame, StoreReader};
 use std::fmt;
 
 /// Identifies a process across the whole computation.
@@ -148,6 +149,36 @@ impl Trace {
         let mut events = Vec::new();
         for r in records {
             if let Some(ev) = typed_event(events.len(), r) {
+                events.push(ev);
+            }
+        }
+        Trace { events }
+    }
+
+    /// Builds a trace straight from a binary log store, decoding each
+    /// stored raw meter record with `desc` — no intermediate text log.
+    /// Frames are consumed in arrival (sequence) order, so a
+    /// store-backed filter and a text-backed filter over the same
+    /// input yield the same trace.
+    pub fn from_store(reader: &StoreReader, desc: &Descriptions) -> Trace {
+        Trace::from_frames(reader.scan(), desc)
+    }
+
+    /// Builds a trace from an iterator of stored [`Frame`]s, in the
+    /// iterator's order. Reduction (`#` discards) is deferred to read
+    /// time by the store, so records are decoded in full; frames whose
+    /// raw bytes no description matches are skipped, like unparseable
+    /// text records.
+    pub fn from_frames<'a, I>(frames: I, desc: &Descriptions) -> Trace
+    where
+        I: IntoIterator<Item = Frame<'a>>,
+    {
+        let mut events = Vec::new();
+        for f in frames {
+            let Some(rec) = LogRecord::from_raw(desc, f.raw, &[]) else {
+                continue;
+            };
+            if let Some(ev) = typed_event(events.len(), &rec) {
                 events.push(ev);
             }
         }
@@ -319,5 +350,83 @@ event=termproc machine=0 cpuTime=40 procTime=10 traceType=10 pid=100 pc=3 reason
     fn unparseable_records_are_skipped() {
         let t = Trace::parse("event=send machine=0 pid=1\nevent=weird machine=0 pid=1\n");
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn store_backed_trace_matches_text_backed_trace() {
+        use dpm_logstore::{LogStore, MemBackend, StoreConfig};
+        use dpm_meter::{
+            MeterBody, MeterFork, MeterHeader, MeterMsg, MeterSendMsg, MeterTermProc, SockName,
+            TermReason,
+        };
+        use std::sync::Arc;
+
+        let msg = |machine: u16, cpu: u32, body: MeterBody| {
+            MeterMsg {
+                header: MeterHeader {
+                    size: 0,
+                    machine,
+                    cpu_time: cpu,
+                    proc_time: 0,
+                    trace_type: body.trace_type(),
+                },
+                body,
+            }
+            .encode()
+        };
+        let raws: Vec<Vec<u8>> = vec![
+            msg(
+                0,
+                10,
+                MeterBody::Send(MeterSendMsg {
+                    pid: 100,
+                    pc: 1,
+                    sock: 3,
+                    msg_length: 64,
+                    dest_name: Some(SockName::inet(1, 53)),
+                }),
+            ),
+            msg(
+                1,
+                20,
+                MeterBody::Fork(MeterFork {
+                    pid: 200,
+                    pc: 2,
+                    new_pid: 201,
+                }),
+            ),
+            msg(
+                0,
+                30,
+                MeterBody::TermProc(MeterTermProc {
+                    pid: 100,
+                    pc: 3,
+                    reason: TermReason::Normal,
+                }),
+            ),
+        ];
+        let desc = Descriptions::standard();
+
+        // Text path: render each record to a log line, then parse.
+        let mut text = String::new();
+        for raw in &raws {
+            let rec = LogRecord::from_raw(&desc, raw, &[]).expect("decode");
+            text.push_str(&rec.to_string());
+            text.push('\n');
+        }
+        let from_text = Trace::parse(&text);
+
+        // Store path: append the same raw records, read back, decode.
+        let store = LogStore::open(Arc::new(MemBackend::new()), "/log", StoreConfig::default());
+        let mut w = store.writer(0);
+        for raw in &raws {
+            w.append(raw);
+        }
+        w.flush();
+        let reader = store.reader();
+        let from_store = Trace::from_store(&reader, &desc);
+
+        assert_eq!(from_store.len(), 3);
+        assert_eq!(from_store, from_text);
     }
 }

@@ -14,8 +14,9 @@
 //! over simulated IPC through the meterdaemons), driven from the host.
 
 use crate::job::{Job, ManagedProc, ProcAction, ProcState};
-use dpm_filter::{Descriptions, Rules};
-use dpm_meterd::{read_frame, rpc_call, Reply, Request, RpcStatus};
+use dpm_filter::{Descriptions, LogRecord, Rules};
+use dpm_logstore::{segment_name, StoreReader};
+use dpm_meterd::{read_frame, rpc_call, LogSinkMode, Reply, Request, RpcStatus};
 use dpm_simos::{BindTo, Cluster, Domain, Pid, Proc, SockType, SysError, SysResult, Uid};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
@@ -36,8 +37,17 @@ pub struct FilterInfo {
     pub pid: Pid,
     /// The port metered processes' meter connections go to.
     pub port: u16,
-    /// Its log file path on its machine.
+    /// Its log file path on its machine (for `log=store`, the prefix
+    /// its segment files live under).
     pub logfile: String,
+    /// Where its accepted records go: text log or binary store.
+    pub log_mode: LogSinkMode,
+    /// How many shards it runs (one segment stream each in store
+    /// mode).
+    pub shards: u32,
+    /// The descriptions it filters with — kept so `getlog` can render
+    /// store frames as text without re-fetching the file.
+    pub desc: Descriptions,
 }
 
 /// The interactive measurement-session controller.
@@ -334,7 +344,7 @@ impl Controller {
 
     fn cmd_help(&mut self) {
         self.emit("Commands:");
-        self.emit("  filter [<name> [<machine> [<filterfile> [<descriptions> [<templates> [<shards>]]]]]]");
+        self.emit("  filter [<name> [<machine> [<filterfile> [<descriptions> [<templates> [<shards>]]]]]] [log=text|store]");
         self.emit("  newjob <jobname> [<filtername>]");
         self.emit("  addprocess <jobname> <machine> <processfile> [<parms ...>] [< <inputfile>]");
         self.emit("  acquire <jobname> <machine> <process identifier>");
@@ -352,6 +362,33 @@ impl Controller {
 
     /// `filter` — create a filter process, or list filters (§4.3).
     fn cmd_filter(&mut self, args: &[&str]) {
+        // `log=text|store` may appear anywhere among the arguments;
+        // the rest are positional.
+        let mut log_mode = LogSinkMode::Text;
+        let mut bad_mode = None;
+        let mut args: Vec<&str> = args.to_vec();
+        args.retain(|a| match a.strip_prefix("log=") {
+            Some("text") => {
+                log_mode = LogSinkMode::Text;
+                false
+            }
+            Some("store") => {
+                log_mode = LogSinkMode::Store;
+                false
+            }
+            Some(other) => {
+                bad_mode = Some(other.to_owned());
+                false
+            }
+            None => true,
+        });
+        if let Some(bad) = bad_mode {
+            self.emit(&format!(
+                "bad log mode '{bad}' (want log=text or log=store)"
+            ));
+            return;
+        }
+        let args = &args[..];
         if args.is_empty() {
             if self.filters.is_empty() {
                 self.emit("no filters");
@@ -360,9 +397,13 @@ impl Controller {
                 .filters
                 .iter()
                 .map(|f| {
+                    let mode = match f.log_mode {
+                        LogSinkMode::Text => String::new(),
+                        LogSinkMode::Store => "  log=store".to_owned(),
+                    };
                     format!(
-                        "{}  pid {}  machine {}  port {}",
-                        f.name, f.pid, f.machine, f.port
+                        "{}  pid {}  machine {}  port {}{}",
+                        f.name, f.pid, f.machine, f.port, mode
                     )
                 })
                 .collect();
@@ -410,10 +451,10 @@ impl Controller {
             .read(&descriptions)
             .unwrap_or_else(|| Descriptions::standard_text().as_bytes().to_vec());
         let tmpl_data = local_fs.read(&templates).unwrap_or_default();
-        if Descriptions::parse(&String::from_utf8_lossy(&desc_data)).is_err() {
+        let Ok(parsed_desc) = Descriptions::parse(&String::from_utf8_lossy(&desc_data)) else {
             self.emit(&format!("descriptions file '{descriptions}' is malformed"));
             return;
-        }
+        };
         if Rules::parse(&String::from_utf8_lossy(&tmpl_data)).is_err() {
             self.emit(&format!("templates file '{templates}' is malformed"));
             return;
@@ -443,6 +484,7 @@ impl Controller {
                 descriptions,
                 templates,
                 shards,
+                log_mode,
             },
         );
         match reply {
@@ -456,6 +498,9 @@ impl Controller {
                     pid,
                     port,
                     logfile,
+                    log_mode,
+                    shards,
+                    desc: parsed_desc,
                 });
                 self.emit(&format!("filter '{name}' ... created: identifier= {pid}"));
             }
@@ -894,6 +939,14 @@ impl Controller {
     }
 
     /// `getlog <filtername> <destination>` (§4.3).
+    ///
+    /// For a `log=store` filter there is no single log file to fetch:
+    /// the controller pulls the store's segment files instead (their
+    /// names are dense and probeable, `s<shard>-<n>.seg`, so "fetch
+    /// until absent" enumerates them with no extra RPC), decodes the
+    /// frames locally, and writes the same one-line-per-record text a
+    /// text filter would have produced — `getlog` output is
+    /// sink-agnostic.
     fn cmd_getlog(&mut self, args: &[&str]) {
         let (Some(fname), Some(dest)) = (args.first(), args.get(1)) else {
             self.emit("usage: getlog <filtername> <destination filename>");
@@ -903,19 +956,45 @@ impl Controller {
             self.emit(&format!("no filter named '{fname}'"));
             return;
         };
-        match self.rpc(
-            &f.machine,
-            &Request::GetFile {
-                path: f.logfile.clone(),
+        match f.log_mode {
+            LogSinkMode::Text => match self.rpc(
+                &f.machine,
+                &Request::GetFile {
+                    path: f.logfile.clone(),
+                },
+            ) {
+                Ok(Reply::File {
+                    status: RpcStatus::Ok,
+                    data,
+                }) => {
+                    self.proc.machine().fs().write(dest, data);
+                }
+                _ => self.emit(&format!("cannot retrieve log of filter '{fname}'")),
             },
-        ) {
-            Ok(Reply::File {
-                status: RpcStatus::Ok,
-                data,
-            }) => {
-                self.proc.machine().fs().write(dest, data);
+            LogSinkMode::Store => {
+                let mut segments = Vec::new();
+                for shard in 0..f.shards.max(1) {
+                    for no in 0u32.. {
+                        let path = segment_name(&f.logfile, shard as u16, no);
+                        match self.rpc(&f.machine, &Request::GetFile { path }) {
+                            Ok(Reply::File {
+                                status: RpcStatus::Ok,
+                                data,
+                            }) => segments.push(data),
+                            _ => break,
+                        }
+                    }
+                }
+                let reader = StoreReader::from_segment_bytes(segments);
+                let mut text = String::new();
+                for frame in reader.scan() {
+                    if let Some(rec) = LogRecord::from_raw(&f.desc, frame.raw, &[]) {
+                        text.push_str(&rec.to_string());
+                        text.push('\n');
+                    }
+                }
+                self.proc.machine().fs().write(dest, text.into_bytes());
             }
-            _ => self.emit(&format!("cannot retrieve log of filter '{fname}'")),
         }
     }
 

@@ -208,6 +208,21 @@ impl FilterEngine {
     where
         F: FnMut(LogRecord),
     {
+        self.feed_records(data, &mut |_view, rec| sink(rec));
+    }
+
+    /// Like [`FilterEngine::feed_into`], but delivers each kept record
+    /// together with its borrowed raw wire bytes.
+    ///
+    /// This is the entry point for sinks that store the record itself
+    /// rather than (or in addition to) its textual rendering — the
+    /// binary log store appends `view.bytes()` verbatim. The view
+    /// borrows either the caller's chunk or the engine's carry buffer
+    /// and is valid only for the duration of the callback.
+    pub fn feed_records<F>(&mut self, data: &[u8], sink: &mut F)
+    where
+        F: FnMut(RecordView<'_>, LogRecord),
+    {
         let data = self.drain_carry(data, sink);
         let Some(mut data) = data else { return };
 
@@ -226,7 +241,7 @@ impl FilterEngine {
                 break; // partial tail
             }
             let view = RecordView::new(&data[off..off + size]);
-            self.process_view(view, sink);
+            self.process_raw(view, sink);
             off += size;
         }
         data = &data[off..];
@@ -241,7 +256,7 @@ impl FilterEngine {
     /// `None` when the whole chunk was absorbed into the carry buffer.
     fn drain_carry<'a, F>(&mut self, mut data: &'a [u8], sink: &mut F) -> Option<&'a [u8]>
     where
-        F: FnMut(LogRecord),
+        F: FnMut(RecordView<'_>, LogRecord),
     {
         if self.pending.is_empty() {
             return Some(data);
@@ -278,7 +293,7 @@ impl FilterEngine {
                 }
             }
             let view = RecordView::new(&carry[pos..pos + size]);
-            self.process_view(view, sink);
+            self.process_raw(view, sink);
             pos += size;
             if pos == carry.len() {
                 break Some(data); // carry drained; back to zero-copy
@@ -312,6 +327,15 @@ impl FilterEngine {
     where
         F: FnMut(LogRecord),
     {
+        self.process_raw(record, &mut |_view, rec| sink(rec));
+    }
+
+    /// [`FilterEngine::process_view`] delivering the raw view
+    /// alongside the rendered record.
+    fn process_raw<F>(&mut self, record: RecordView<'_>, sink: &mut F)
+    where
+        F: FnMut(RecordView<'_>, LogRecord),
+    {
         self.stats.seen += 1;
         match self.rules.verdict(&self.desc, record.bytes()) {
             Verdict::Reject => {
@@ -321,7 +345,7 @@ impl FilterEngine {
                 match LogRecord::from_raw(&self.desc, record.bytes(), &discard_fields) {
                     Some(rec) => {
                         self.stats.kept += 1;
-                        sink(rec);
+                        sink(record, rec);
                     }
                     None => {
                         // Unknown trace type: count it as garbage.
@@ -458,6 +482,29 @@ mod tests {
         assert_eq!(records[0].event, "send");
         assert_eq!(records[0].get_int("msgLength"), Some(64));
         assert_eq!(records[0].get_int("machine"), Some(3));
+    }
+
+    #[test]
+    fn feed_records_pairs_raw_bytes_with_rendered_records() {
+        let a = send(3, 64);
+        let b = send(4, 65);
+        let mut wire = a.clone();
+        wire.extend_from_slice(&[0xde, 0xad]); // mid-stream garbage
+        wire.extend_from_slice(&b);
+        let mut e = FilterEngine::standard();
+        let mut got: Vec<(Vec<u8>, String)> = Vec::new();
+        // Awkward chunks so the second record round-trips through the
+        // carry buffer; its view must still be byte-exact.
+        for chunk in wire.chunks(9) {
+            e.feed_records(chunk, &mut |view, rec| {
+                got.push((view.bytes().to_vec(), rec.to_string()));
+            });
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, a);
+        assert_eq!(got[1].0, b);
+        assert!(got[0].1.contains("msgLength=64"));
+        assert!(got[1].1.contains("msgLength=65"));
     }
 
     #[test]

@@ -14,10 +14,73 @@
 //! ```text
 //! event=send machine=0 cpuTime=2113 procTime=10 pid=2120 pc=4 sock=5 msgLength=64 destName=inet:1:1701
 //! ```
+//!
+//! The format is line- and token-structured, so names and values are
+//! escaped on write (and unescaped on parse): backslash, whitespace,
+//! and `=` become two-character backslash escapes (`\\`, `\s`, `\t`,
+//! `\n`, `\r`, `\e`). Every standard field renders as digits, dots,
+//! and colons — escaping never fires for them and the classic line
+//! shape above is byte-identical — but a hostile or future value
+//! containing a space, `=`, or newline can no longer corrupt the line
+//! structure. [`LogRecord::parse`] of [`fmt::Display`] output is the
+//! identity for *any* record.
 
 use crate::desc::Descriptions;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Escapes a token so it contains no whitespace, `=`, or bare
+/// backslash. Returns the input unchanged (no allocation) when no
+/// escaping is needed — the case for every standard field value.
+fn escape(s: &str) -> Cow<'_, str> {
+    if !s.contains(['\\', ' ', '\t', '\n', '\r', '=']) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 4);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            ' ' => out.push_str("\\s"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '=' => out.push_str("\\e"),
+            c => out.push(c),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Reverses [`escape`]. Unknown escape pairs (and a trailing lone
+/// backslash) are kept verbatim, so parsing stays total.
+fn unescape(s: &str) -> Cow<'_, str> {
+    if !s.contains('\\') {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('s') => out.push(' '),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('e') => out.push('='),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    Cow::Owned(out)
+}
 
 /// One record of a trace log.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -74,9 +137,9 @@ impl LogRecord {
         for token in line.split_whitespace() {
             let (name, value) = token.split_once('=')?;
             if name == "event" {
-                event = value.to_owned();
+                event = unescape(value).into_owned();
             } else {
-                fields.push((name.to_owned(), value.to_owned()));
+                fields.push((unescape(name).into_owned(), unescape(value).into_owned()));
             }
         }
         if event.is_empty() {
@@ -93,9 +156,9 @@ impl LogRecord {
 
 impl fmt::Display for LogRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "event={}", self.event)?;
+        write!(f, "event={}", escape(&self.event))?;
         for (n, v) in &self.fields {
-            write!(f, " {n}={v}")?;
+            write!(f, " {}={}", escape(n), escape(v))?;
         }
         Ok(())
     }
@@ -196,6 +259,51 @@ mod tests {
         let d = Descriptions::standard();
         let rec = LogRecord::from_raw(&d, &send_record(), &["size".into()]).unwrap();
         assert_eq!(rec.get("msgLength"), None);
+    }
+
+    /// Satellite regression: values containing spaces, `=`, newlines,
+    /// tabs, or backslashes used to corrupt the line structure (the
+    /// parser split on whitespace and the first `=`). They now escape
+    /// on write and unescape on parse, so display→parse is the
+    /// identity for arbitrary records.
+    #[test]
+    fn hostile_values_round_trip_exactly() {
+        let rec = LogRecord {
+            event: "odd event".into(),
+            fields: vec![
+                ("plain".into(), "42".into()),
+                ("spaced".into(), "two words".into()),
+                ("eq".into(), "a=b=c".into()),
+                ("multi\nline".into(), "first\nsecond\r\n".into()),
+                ("tabs".into(), "a\tb".into()),
+                ("slashes".into(), "C:\\path\\n not a newline".into()),
+                ("empty".into(), String::new()),
+            ],
+        };
+        let line = rec.to_string();
+        assert!(!line.contains('\n'), "one record, one line: {line:?}");
+        let back = LogRecord::parse(&line).expect("line parses");
+        assert_eq!(back, rec);
+        // Multiple hostile records in one log stay one-per-line.
+        let log = format!("{rec}\n{rec}\n");
+        let all = LogRecord::parse_log(&log);
+        assert_eq!(all, vec![rec.clone(), rec]);
+    }
+
+    #[test]
+    fn benign_lines_are_unchanged_by_escaping() {
+        // The exact classic line shape must keep round-tripping
+        // untouched — escaping never fires for standard fields.
+        let line = "event=send machine=0 cpuTime=2113 procTime=10 traceType=1 pid=2120 pc=4 sock=5 msgLength=64 destName=inet:1:1701";
+        let rec = LogRecord::parse(line).unwrap();
+        assert_eq!(rec.to_string(), line);
+    }
+
+    #[test]
+    fn unknown_escapes_parse_leniently() {
+        let rec = LogRecord::parse("event=x a=\\q b=trailing\\").unwrap();
+        assert_eq!(rec.get("a"), Some("\\q"));
+        assert_eq!(rec.get("b"), Some("trailing\\"));
     }
 
     #[test]

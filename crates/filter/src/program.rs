@@ -16,16 +16,21 @@
 //! records are appended to the filter's log file in batches.
 //!
 //! Program arguments: `<port> <logfile> [descriptions [templates
-//! [shards]]]`. The descriptions and templates are read from files on
-//! the filter's machine, defaulting to the standard descriptions and
-//! keep-everything rules when the files are absent (the controller
-//! installs real files; being lenient here keeps hand-rolled sessions
-//! pleasant). `shards` defaults to 1, which reproduces the classic
-//! single-engine filter exactly.
+//! [shards [logmode]]]]`. The descriptions and templates are read from
+//! files on the filter's machine, defaulting to the standard
+//! descriptions and keep-everything rules when the files are absent
+//! (the controller installs real files; being lenient here keeps
+//! hand-rolled sessions pleasant). `shards` defaults to 1, which
+//! reproduces the classic single-engine filter exactly. `logmode` is
+//! `text` (default — the paper's rendered-line log at `<logfile>`) or
+//! `store` (accepted records land raw in a `dpm-logstore` binary
+//! store whose segment files live under the `<logfile>` prefix).
 
 use crate::desc::Descriptions;
 use crate::rules::Rules;
-use crate::shard::{ShardSink, ShardedFilter};
+use crate::shard::{ShardLog, ShardSink, ShardedFilter, DEFAULT_BATCH_BYTES};
+use crate::store::SimFsBackend;
+use dpm_logstore::{Backend, LogStore, StoreConfig};
 use dpm_simos::{BindTo, Cluster, Domain, Proc, SockType, SysError, SysResult};
 use std::sync::Arc;
 
@@ -69,6 +74,11 @@ pub fn filter_main(p: Proc, args: Vec<String>) -> SysResult<()> {
         Some(a) => a.parse().ok().filter(|&n| n > 0).ok_or(SysError::Einval)?,
         None => 1,
     };
+    let store_log = match args.get(5).map(String::as_str) {
+        None | Some("text") => false,
+        Some("store") => true,
+        Some(_) => return Err(SysError::Einval),
+    };
 
     let desc = match p.machine().fs().read_string(&desc_path) {
         Some(text) => Descriptions::parse(&text).map_err(|_| SysError::Einval)?,
@@ -79,20 +89,36 @@ pub fn filter_main(p: Proc, args: Vec<String>) -> SysResult<()> {
         None => Rules::default(),
     };
 
-    // The shard workers are real threads; each sink appends its
-    // batches to the filter's log file. Batches end on line
-    // boundaries and `SimFs::append` is atomic per call, so lines
-    // from different shards never interleave mid-line.
-    let pipeline = Arc::new(ShardedFilter::new(
-        shards,
-        desc,
-        rules,
-        |_shard| -> ShardSink {
-            let writer = p.clone();
-            let path = log_path.clone();
-            Box::new(move |batch: &[u8]| writer.machine().fs().append(&path, batch))
-        },
-    ));
+    // The shard workers are real threads; each log destination writes
+    // to the filter machine's file system. Text batches end on line
+    // boundaries and store flushes end on frame boundaries, and
+    // `SimFs::append` is atomic per call, so output from different
+    // shards never interleaves mid-line (or mid-frame).
+    let pipeline = if store_log {
+        // `log=store`: segments live under the `<logfile>` prefix on
+        // this machine's fs; every shard writer shares one store (one
+        // global seq space, one monotonic clock).
+        let backend: Arc<dyn Backend> = Arc::new(SimFsBackend::new(Arc::clone(p.machine())));
+        let store = LogStore::open(backend, &log_path, StoreConfig::default());
+        Arc::new(ShardedFilter::with_logs(
+            shards,
+            desc,
+            rules,
+            DEFAULT_BATCH_BYTES,
+            |shard| ShardLog::Store(Box::new(store.writer(shard as u16))),
+        ))
+    } else {
+        Arc::new(ShardedFilter::new(
+            shards,
+            desc,
+            rules,
+            |_shard| -> ShardSink {
+                let writer = p.clone();
+                let path = log_path.clone();
+                Box::new(move |batch: &[u8]| writer.machine().fs().append(&path, batch))
+            },
+        ))
+    };
 
     let listener = p.socket(Domain::Inet, SockType::Stream)?;
     p.bind(listener, BindTo::Port(port))?;

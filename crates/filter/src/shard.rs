@@ -31,9 +31,10 @@
 //! a test below and by `tests/shard_pipeline.rs`.)
 
 use crate::desc::Descriptions;
-use crate::engine::{FilterEngine, FilterStats};
+use crate::engine::{FilterEngine, FilterStats, RecordView};
 use crate::log::LogRecord;
 use crate::rules::Rules;
+use dpm_logstore::SegmentWriter;
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,6 +48,62 @@ pub const DEFAULT_BATCH_BYTES: usize = 8 * 1024;
 
 /// A shard's log writer: receives whole batches of rendered lines.
 pub type ShardSink = Box<dyn FnMut(&[u8]) + Send>;
+
+/// Where one shard's kept records go.
+///
+/// * [`ShardLog::Text`] — rendered log lines, batched in the worker
+///   and handed to the sink (the classic §3.4 text log).
+/// * [`ShardLog::Store`] — raw wire records appended to a binary
+///   log-store [`SegmentWriter`]; batching is the writer's own group
+///   commit, and the worker drives `flush()` on idle/close/shutdown
+///   so the two modes share one freshness discipline.
+///
+/// (The writer is boxed: a `SegmentWriter` carries its own batch and
+/// index state and would otherwise dwarf the text variant.)
+pub enum ShardLog {
+    /// Batched rendered-text lines.
+    Text(ShardSink),
+    /// Raw records into the binary log store.
+    Store(Box<SegmentWriter>),
+}
+
+/// One shard's logging state: the destination plus the text batch
+/// buffer (unused in store mode — the store batches internally).
+struct ShardLogger {
+    log: ShardLog,
+    batch: Vec<u8>,
+    batch_bytes: usize,
+}
+
+impl ShardLogger {
+    /// Writes one kept record to the shard's log.
+    fn write(&mut self, view: RecordView<'_>, rec: &LogRecord) {
+        match &mut self.log {
+            ShardLog::Text(_) => {
+                writeln!(self.batch, "{rec}").expect("write to Vec");
+                if self.batch.len() >= self.batch_bytes {
+                    self.flush();
+                }
+            }
+            ShardLog::Store(writer) => {
+                writer.append(view.bytes());
+            }
+        }
+    }
+
+    /// Flushes buffered output to the destination.
+    fn flush(&mut self) {
+        match &mut self.log {
+            ShardLog::Text(sink) => {
+                if !self.batch.is_empty() {
+                    sink(&self.batch);
+                    self.batch.clear();
+                }
+            }
+            ShardLog::Store(writer) => writer.flush(),
+        }
+    }
+}
 
 /// Messages from connection feeders to shard workers.
 enum Msg {
@@ -167,6 +224,25 @@ impl ShardedFilter {
     where
         F: FnMut(usize) -> ShardSink,
     {
+        ShardedFilter::with_logs(shards, desc, rules, batch_bytes, |shard| {
+            ShardLog::Text(make_sink(shard))
+        })
+    }
+
+    /// The general constructor: `make_log` builds each shard's
+    /// destination, which may be a text sink or a binary log-store
+    /// writer (see [`ShardLog`]). `batch_bytes` governs text batching
+    /// only; store writers batch via their own group-commit config.
+    pub fn with_logs<F>(
+        shards: usize,
+        desc: Descriptions,
+        rules: Rules,
+        batch_bytes: usize,
+        mut make_log: F,
+    ) -> ShardedFilter
+    where
+        F: FnMut(usize) -> ShardLog,
+    {
         assert!(shards > 0, "a sharded filter needs at least one shard");
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
@@ -174,7 +250,7 @@ impl ShardedFilter {
         for shard in 0..shards {
             let (tx, rx) = mpsc::channel();
             let ctrs = Arc::new(ShardCounters::default());
-            let sink = make_sink(shard);
+            let log = make_log(shard);
             let worker_desc = desc.clone();
             let worker_rules = rules.clone();
             let worker_ctrs = Arc::clone(&ctrs);
@@ -182,14 +258,7 @@ impl ShardedFilter {
                 std::thread::Builder::new()
                     .name(format!("filter-shard-{shard}"))
                     .spawn(move || {
-                        shard_worker(
-                            rx,
-                            worker_desc,
-                            worker_rules,
-                            sink,
-                            worker_ctrs,
-                            batch_bytes,
-                        )
+                        shard_worker(rx, worker_desc, worker_rules, log, worker_ctrs, batch_bytes)
                     })
                     .expect("spawn shard worker"),
             );
@@ -269,21 +338,18 @@ fn shard_worker(
     rx: Receiver<Msg>,
     desc: Descriptions,
     rules: Rules,
-    mut sink: ShardSink,
+    log: ShardLog,
     counters: Arc<ShardCounters>,
     batch_bytes: usize,
 ) {
     let mut engines: HashMap<u64, FilterEngine> = HashMap::new();
-    let mut batch: Vec<u8> = Vec::new();
+    let mut logger = ShardLogger {
+        log,
+        batch: Vec::new(),
+        batch_bytes,
+    };
     // Stats of connections already closed and retired.
     let mut retired = FilterStats::default();
-
-    let flush = |batch: &mut Vec<u8>, sink: &mut ShardSink| {
-        if !batch.is_empty() {
-            sink(batch);
-            batch.clear();
-        }
-    };
 
     loop {
         // Drain eagerly; flush the partial batch only when idle so a
@@ -291,7 +357,7 @@ fn shard_worker(
         let msg = match rx.try_recv() {
             Ok(m) => m,
             Err(TryRecvError::Empty) => {
-                flush(&mut batch, &mut sink);
+                logger.flush();
                 match rx.recv() {
                     Ok(m) => m,
                     Err(_) => break,
@@ -304,21 +370,18 @@ fn shard_worker(
                 let engine = engines
                     .entry(conn)
                     .or_insert_with(|| FilterEngine::new(desc.clone(), rules.clone()));
-                engine.feed_into(&bytes, &mut |rec: LogRecord| {
-                    writeln!(batch, "{rec}").expect("write to Vec");
-                    if batch.len() >= batch_bytes {
-                        flush(&mut batch, &mut sink);
-                    }
+                engine.feed_records(&bytes, &mut |view, rec: LogRecord| {
+                    logger.write(view, &rec);
                 });
             }
             Msg::Close { conn } => {
                 if let Some(engine) = engines.remove(&conn) {
                     retired = retired.merge(&engine.stats());
                 }
-                flush(&mut batch, &mut sink);
+                logger.flush();
             }
             Msg::Flush(ack) => {
-                flush(&mut batch, &mut sink);
+                logger.flush();
                 let _ = ack.send(());
                 continue; // counters unchanged
             }
@@ -328,7 +391,7 @@ fn shard_worker(
             .fold(retired, |acc, e| acc.merge(&e.stats()));
         counters.publish(live);
     }
-    flush(&mut batch, &mut sink);
+    logger.flush();
 }
 
 #[cfg(test)]
@@ -504,6 +567,90 @@ mod tests {
         b.close();
         filter.flush();
         assert_eq!(filter.snapshot().kept, 2, "closed connections still count");
+    }
+
+    /// Satellite regression: a partial batch sitting in a shard when
+    /// `flush()` or shutdown arrives is never dropped, and every
+    /// write ends on a record boundary — for the text sink AND the
+    /// store sink. (A batched pipeline's classic failure mode is
+    /// losing the tail that never crossed the batch threshold.)
+    #[test]
+    fn flush_and_shutdown_never_drop_partial_batches() {
+        use dpm_logstore::{Backend, LogStore, MemBackend, StoreConfig};
+
+        // Text path: threshold too large to ever trip on its own.
+        let writes: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let w = Arc::clone(&writes);
+        let filter = ShardedFilter::with_batch_bytes(
+            2,
+            Descriptions::standard(),
+            Rules::default(),
+            usize::MAX,
+            move |_| {
+                let w = Arc::clone(&w);
+                Box::new(move |batch: &[u8]| w.lock().unwrap().push(batch.to_vec()))
+            },
+        );
+        let a = filter.open_conn();
+        let b = filter.open_conn();
+        a.feed(send(1, 1));
+        b.feed(send(2, 2));
+        // flush() drains both shards even though no threshold tripped.
+        filter.flush();
+        {
+            let writes = writes.lock().unwrap();
+            let all: Vec<u8> = writes.concat();
+            assert_eq!(String::from_utf8(all).unwrap().lines().count(), 2);
+            for batch in writes.iter() {
+                assert_eq!(batch.last(), Some(&b'\n'), "record-boundary write");
+            }
+        }
+        a.feed(send(1, 3)); // a partial batch left at shutdown
+        drop(a);
+        drop(b);
+        drop(filter);
+        let all: Vec<u8> = writes.lock().unwrap().concat();
+        let text = String::from_utf8(all).unwrap();
+        assert_eq!(text.lines().count(), 3, "shutdown flushed the tail");
+        assert!(text.contains("msgLength=3"));
+
+        // Store path: group-commit threshold never tripped either.
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let store = LogStore::open(
+            Arc::clone(&backend),
+            "log",
+            StoreConfig {
+                batch_bytes: usize::MAX,
+                ..StoreConfig::default()
+            },
+        );
+        let filter = ShardedFilter::with_logs(
+            2,
+            Descriptions::standard(),
+            Rules::default(),
+            DEFAULT_BATCH_BYTES,
+            |shard| ShardLog::Store(Box::new(store.writer(shard as u16))),
+        );
+        let a = filter.open_conn();
+        let b = filter.open_conn();
+        a.feed(send(1, 10));
+        b.feed(send(2, 20));
+        filter.flush();
+        assert_eq!(
+            store.reader().scan().count(),
+            2,
+            "flush() commits the store"
+        );
+        a.feed(send(1, 30));
+        drop(a);
+        drop(b);
+        drop(filter); // workers drop their SegmentWriters, which flush
+        let reader = store.reader();
+        assert_eq!(reader.scan().count(), 3, "shutdown commits the tail");
+        // Every stored frame decodes whole: writes ended on frame
+        // boundaries (scan() would stop at a torn frame otherwise).
+        let lens: Vec<usize> = reader.scan().map(|f| f.raw.len()).collect();
+        assert!(lens.iter().all(|&l| l == send(0, 0).len()));
     }
 
     #[test]

@@ -1,0 +1,64 @@
+//! CRC-32 (IEEE 802.3) used to seal every stored frame.
+//!
+//! The store cannot take an external checksum crate (the build image
+//! is offline), and the classic table-driven CRC-32 is a dozen lines;
+//! the table is built at compile time by a `const fn`.
+
+/// The 256-entry lookup table for the reflected polynomial
+/// `0xEDB88320`.
+const TABLE: [u32; 256] = make_table();
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `data` (IEEE, reflected, init/xorout `0xFFFF_FFFF`) —
+/// the same function `cksum`-style tools and zlib compute.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let good = crc32(data);
+        let mut corrupt = data.to_vec();
+        for i in 0..corrupt.len() {
+            corrupt[i] ^= 0x01;
+            assert_ne!(crc32(&corrupt), good, "flip at byte {i} undetected");
+            corrupt[i] ^= 0x01;
+        }
+    }
+}

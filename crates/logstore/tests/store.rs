@@ -1,0 +1,213 @@
+//! Integration tests for the log store: crash recovery after torn
+//! writes, query correctness over multi-segment stores, and the
+//! directory-backed backend end to end.
+
+use dpm_logstore::{
+    segment_name, Backend, DirBackend, LogStore, MemBackend, ProcId, StoreConfig, StoreReader,
+};
+use dpm_meter::HEADER_LEN;
+use std::sync::Arc;
+
+/// A minimal well-formed meter record: `size` at 0, `machine` at 4,
+/// a trace type at 20, and `pid` at body offset 0.
+fn raw(machine: u16, pid: u32, fill: usize) -> Vec<u8> {
+    let mut r = vec![0u8; HEADER_LEN + 4 + fill];
+    let size = r.len() as u32;
+    r[0..4].copy_from_slice(&size.to_le_bytes());
+    r[4..6].copy_from_slice(&machine.to_le_bytes());
+    r[20..24].copy_from_slice(&5u32.to_le_bytes());
+    r[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&pid.to_le_bytes());
+    r
+}
+
+/// Satellite: a torn write at the segment tail (simulated crash mid-
+/// frame) loses only the torn frame. Reopening recovers every record
+/// before the tear and appends cleanly after it.
+#[test]
+fn torn_write_recovers_to_last_valid_frame() {
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let cfg = StoreConfig::default();
+    {
+        let store = LogStore::open(Arc::clone(&backend), "log", cfg);
+        let mut w = store.writer(0);
+        for i in 0..10 {
+            w.append(&raw(3, 100 + i, 4));
+        }
+        w.flush();
+    }
+    // Crash mid-append: chop the newest segment mid-frame.
+    let seg = segment_name("log", 0, 0);
+    let bytes = backend.read(&seg).expect("segment exists");
+    backend.write(&seg, &bytes[..bytes.len() - 7]);
+
+    // Reopen: the nine whole frames survive, the torn tenth is gone.
+    let store = LogStore::open(Arc::clone(&backend), "log", cfg);
+    let reader = store.reader();
+    let pids: Vec<u32> = reader.scan().map(|f| f.proc.pid).collect();
+    assert_eq!(pids, (100..109).collect::<Vec<u32>>());
+    // Seq resumes past the largest *surviving* frame... the torn
+    // frame's seq (9) may be reissued or skipped; either way new
+    // appends must land after everything stored.
+    assert!(store.next_seq() >= 9);
+
+    // And appends after recovery extend the log on a clean boundary.
+    let mut w = store.writer(0);
+    w.append(&raw(3, 999, 4));
+    w.flush();
+    let reader = store.reader();
+    let pids: Vec<u32> = reader.scan().map(|f| f.proc.pid).collect();
+    assert_eq!(pids.len(), 10);
+    assert_eq!(pids[..9], (100..109).collect::<Vec<u32>>()[..]);
+    assert_eq!(*pids.last().unwrap(), 999);
+    let seqs: Vec<u64> = reader.scan().map(|f| f.seq).collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "strictly ascending: {seqs:?}"
+    );
+}
+
+/// A crash can also tear the fixed segment header itself (the very
+/// first write to a fresh segment). Recovery restarts that segment.
+#[test]
+fn torn_header_restarts_segment() {
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let cfg = StoreConfig::default();
+    // Hand-craft a store dir whose only segment is half a header.
+    backend.write(&segment_name("log", 0, 0), &[0xAB; 11]);
+    let store = LogStore::open(Arc::clone(&backend), "log", cfg);
+    assert_eq!(store.reader().scan().count(), 0);
+    let mut w = store.writer(0);
+    w.append(&raw(1, 42, 0));
+    w.flush();
+    let reader = store.reader();
+    assert_eq!(reader.n_records(), 1);
+    assert_eq!(
+        reader.scan().next().unwrap().proc,
+        ProcId {
+            machine: 1,
+            pid: 42
+        }
+    );
+}
+
+/// Queries stay exact across segment rotation and multiple shards.
+#[test]
+fn queries_span_segments_and_shards() {
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let cfg = StoreConfig {
+        segment_bytes: 400,
+        batch_bytes: 100,
+        index_every: 4,
+    };
+    let store = LogStore::open(Arc::clone(&backend), "log", cfg);
+    let mut w0 = store.writer(0);
+    let mut w1 = store.writer(1);
+    // Interleave two shards; machine/pid cycle over six processes.
+    for i in 0..60u32 {
+        let r = raw((i % 3) as u16 + 1, 100 + (i % 2), 8);
+        if i % 2 == 0 {
+            w0.append(&r);
+        } else {
+            w1.append(&r);
+        }
+    }
+    w0.flush();
+    w1.flush();
+
+    let reader = store.reader();
+    assert!(reader.n_segments() > 2, "rotation across shards");
+    assert_eq!(reader.n_records(), 60);
+
+    // scan(): dense, globally seq-ordered.
+    let seqs: Vec<u64> = reader.scan().map(|f| f.seq).collect();
+    assert_eq!(seqs, (0..60).collect::<Vec<u64>>());
+
+    // by_proc(): exactly the matching records, in order.
+    let got = reader.by_proc(ProcId {
+        machine: 1,
+        pid: 100,
+    });
+    let want: Vec<u64> = reader
+        .scan()
+        .filter(|f| {
+            f.proc
+                == ProcId {
+                    machine: 1,
+                    pid: 100,
+                }
+        })
+        .map(|f| f.seq)
+        .collect();
+    assert!(!want.is_empty());
+    assert_eq!(got.iter().map(|f| f.seq).collect::<Vec<_>>(), want);
+
+    // range_by_time(): a window cut at the middle frame's timestamp
+    // returns exactly the frames inside it.
+    let all: Vec<(u64, u64)> = reader.scan().map(|f| (f.seq, f.ts_us)).collect();
+    let (lo, hi) = (all[10].1, all[49].1);
+    let got: Vec<u64> = reader
+        .range_by_time(lo, hi)
+        .into_iter()
+        .map(|f| f.seq)
+        .collect();
+    let want: Vec<u64> = all
+        .iter()
+        .filter(|&&(_, ts)| ts >= lo && ts <= hi)
+        .map(|&(seq, _)| seq)
+        .collect();
+    assert_eq!(got, want);
+}
+
+/// The directory backend round-trips a store through real files,
+/// including recovery from a torn tail done with plain `fs` calls.
+#[test]
+fn dir_backend_store_round_trip() {
+    let tmp = std::env::temp_dir().join(format!("dpm-store-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let backend: Arc<dyn Backend> = Arc::new(DirBackend::new(&tmp));
+    {
+        let store = LogStore::open(Arc::clone(&backend), "log", StoreConfig::default());
+        let mut w = store.writer(0);
+        for i in 0..5 {
+            w.append(&raw(2, 200 + i, 0));
+        }
+        w.sync();
+    }
+    // Tear the tail with plain std::fs, as a crashed OS would leave it.
+    let seg_path = tmp.join("log/s0000-00000000.seg");
+    let bytes = std::fs::read(&seg_path).unwrap();
+    std::fs::write(&seg_path, &bytes[..bytes.len() - 5]).unwrap();
+
+    let store = LogStore::open(Arc::clone(&backend), "log", StoreConfig::default());
+    let reader = store.reader();
+    let pids: Vec<u32> = reader.scan().map(|f| f.proc.pid).collect();
+    assert_eq!(pids, vec![200, 201, 202, 203]);
+    let _ = std::fs::remove_dir_all(&tmp);
+}
+
+/// `from_segment_bytes` (the remote-fetch path) sees the same records
+/// as a local reader.
+#[test]
+fn segment_bytes_reader_matches_local() {
+    let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+    let store = LogStore::open(Arc::clone(&backend), "log", StoreConfig::default());
+    let mut w = store.writer(0);
+    for i in 0..7 {
+        w.append(&raw(1, 300 + i, 2));
+    }
+    w.flush();
+    // Probe segment names densely, as the controller's getlog does.
+    let mut fetched = Vec::new();
+    for no in 0.. {
+        match backend.read(&segment_name("log", 0, no)) {
+            Some(bytes) => fetched.push(bytes),
+            None => break,
+        }
+    }
+    let remote = StoreReader::from_segment_bytes(fetched);
+    let local = store.reader();
+    let a: Vec<(u64, u32)> = remote.scan().map(|f| (f.seq, f.proc.pid)).collect();
+    let b: Vec<(u64, u32)> = local.scan().map(|f| (f.seq, f.proc.pid)).collect();
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 7);
+}

@@ -270,16 +270,19 @@ fn handle(
             descriptions,
             templates,
             shards,
+            log_mode,
         } => {
             // The shard count rides along as the filter program's
-            // fifth argument; `0` would be rejected by the standard
-            // filter, so treat it as "default" here.
+            // fifth argument (`0` would be rejected by the standard
+            // filter, so treat it as "default" here) and the log sink
+            // mode as the sixth.
             let args = vec![
                 port.to_string(),
                 logfile,
                 descriptions,
                 templates,
                 shards.max(1).to_string(),
+                log_mode.as_arg().to_string(),
             ];
             match p.spawn_file(&filterfile, args, None) {
                 Ok(pid) => {

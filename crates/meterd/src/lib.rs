@@ -25,4 +25,4 @@ pub use daemon::{
     meterd_main, notify, read_exact, read_frame, rpc_call, start_meterdaemons, METERD_PORT,
     METERD_PROGRAM,
 };
-pub use proto::{frame_len, msg_type, ProtoError, Reply, Request, RpcStatus};
+pub use proto::{frame_len, msg_type, LogSinkMode, ProtoError, Reply, Request, RpcStatus};

@@ -140,6 +140,55 @@ impl fmt::Display for RpcStatus {
     }
 }
 
+/// How a filter should record its accepted records — carried in
+/// [`Request::CreateFilter`] and threaded down to the filter program.
+///
+/// On the wire this is a bare `u32` (0 = text, 1 = store); unknown
+/// values are rejected at decode time since silently mis-choosing a
+/// log format would corrupt a measurement session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LogSinkMode {
+    /// The paper's §3.4 log: one rendered text line per record.
+    #[default]
+    Text,
+    /// The binary log store: raw records in segment files under the
+    /// logfile prefix (crate `dpm-logstore`).
+    Store,
+}
+
+impl LogSinkMode {
+    /// The wire code.
+    pub fn code(self) -> u32 {
+        match self {
+            LogSinkMode::Text => 0,
+            LogSinkMode::Store => 1,
+        }
+    }
+
+    /// Decodes a wire code.
+    fn from_code(code: u32) -> Result<LogSinkMode, ProtoError> {
+        match code {
+            0 => Ok(LogSinkMode::Text),
+            1 => Ok(LogSinkMode::Store),
+            other => Err(ProtoError::new(format!("unknown log sink mode {other}"))),
+        }
+    }
+
+    /// The filter program's `logmode` argument string.
+    pub fn as_arg(self) -> &'static str {
+        match self {
+            LogSinkMode::Text => "text",
+            LogSinkMode::Store => "store",
+        }
+    }
+}
+
+impl fmt::Display for LogSinkMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_arg())
+    }
+}
+
 /// A request sent from the controller to a meterdaemon (or, for the
 /// last two variants, from a daemon to a controller).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -186,6 +235,9 @@ pub enum Request {
         /// How many selection shards the filter should run (≥ 1). One
         /// shard reproduces the classic single-engine filter.
         shards: u32,
+        /// Where accepted records go: the text log or the binary
+        /// log store.
+        log_mode: LogSinkMode,
     },
     /// `13`: replace a process's meter flags.
     SetFlags {
@@ -432,6 +484,7 @@ impl Request {
                 descriptions,
                 templates,
                 shards,
+                log_mode,
             } => {
                 w.str(filterfile);
                 w.u32(*port as u32);
@@ -439,6 +492,7 @@ impl Request {
                 w.str(descriptions);
                 w.str(templates);
                 w.u32(*shards);
+                w.u32(log_mode.code());
             }
             Request::SetFlags { pid, flags } => {
                 w.u32(pid.0);
@@ -534,6 +588,7 @@ impl Request {
                 descriptions: r.str()?,
                 templates: r.str()?,
                 shards: r.u32()?,
+                log_mode: LogSinkMode::from_code(r.u32()?)?,
             },
             msg_type::SET_FLAGS => Request::SetFlags {
                 pid: Pid(r.u32()?),
@@ -692,6 +747,16 @@ mod tests {
                 descriptions: "descriptions".into(),
                 templates: "templates".into(),
                 shards: 4,
+                log_mode: LogSinkMode::Text,
+            },
+            Request::CreateFilter {
+                filterfile: "/bin/filter".into(),
+                port: 4002,
+                logfile: "/usr/tmp/f2".into(),
+                descriptions: "descriptions".into(),
+                templates: "templates".into(),
+                shards: 2,
+                log_mode: LogSinkMode::Store,
             },
             Request::SetFlags {
                 pid: Pid(7),
@@ -783,6 +848,35 @@ mod tests {
         truncated.truncate(10);
         assert!(Request::decode(&truncated).is_err());
         assert!(Reply::decode(&[0; 8]).is_err());
+    }
+
+    #[test]
+    fn log_sink_mode_codes_and_args() {
+        assert_eq!(LogSinkMode::Text.code(), 0);
+        assert_eq!(LogSinkMode::Store.code(), 1);
+        assert_eq!(LogSinkMode::from_code(0), Ok(LogSinkMode::Text));
+        assert_eq!(LogSinkMode::from_code(1), Ok(LogSinkMode::Store));
+        assert!(LogSinkMode::from_code(7).is_err());
+        assert_eq!(LogSinkMode::default(), LogSinkMode::Text);
+        assert_eq!(LogSinkMode::Store.as_arg(), "store");
+        assert_eq!(LogSinkMode::Text.to_string(), "text");
+        // A CreateFilter with a garbage mode is rejected, not guessed.
+        let mut wire = Request::CreateFilter {
+            filterfile: "f".into(),
+            port: 1,
+            logfile: "l".into(),
+            descriptions: "d".into(),
+            templates: "t".into(),
+            shards: 1,
+            log_mode: LogSinkMode::Store,
+        }
+        .encode();
+        let n = wire.len();
+        wire[n - 4..].copy_from_slice(&9u32.to_le_bytes());
+        assert!(Request::decode(&wire)
+            .unwrap_err()
+            .to_string()
+            .contains("log sink mode"));
     }
 
     #[test]

@@ -81,6 +81,7 @@ fn start_filter(p: &Proc) -> SysResult<Pid> {
             descriptions: "descriptions".into(),
             templates: "templates".into(),
             shards: 1,
+            log_mode: dpm_meterd::LogSinkMode::Text,
         },
     )?;
     match rep {

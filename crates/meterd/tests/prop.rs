@@ -56,9 +56,10 @@ fn arb_request() -> impl Strategy<Value = Request> {
             arb_string(),
             arb_string(),
             1u32..16,
+            any::<bool>(),
         )
             .prop_map(
-                |(filterfile, port, logfile, descriptions, templates, shards)| {
+                |(filterfile, port, logfile, descriptions, templates, shards, store)| {
                     Request::CreateFilter {
                         filterfile,
                         port,
@@ -66,6 +67,11 @@ fn arb_request() -> impl Strategy<Value = Request> {
                         descriptions,
                         templates,
                         shards,
+                        log_mode: if store {
+                            dpm_meterd::LogSinkMode::Store
+                        } else {
+                            dpm_meterd::LogSinkMode::Text
+                        },
                     }
                 }
             ),

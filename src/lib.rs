@@ -32,6 +32,7 @@ pub mod crates {
     pub use dpm_analysis as analysis;
     pub use dpm_controller as controller;
     pub use dpm_filter as filter;
+    pub use dpm_logstore as logstore;
     pub use dpm_meter as meter;
     pub use dpm_meterd as meterd;
     pub use dpm_simnet as simnet;
