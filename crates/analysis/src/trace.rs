@@ -367,6 +367,7 @@ event=termproc machine=0 cpuTime=40 procTime=10 traceType=10 pid=100 pc=3 reason
                     size: 0,
                     machine,
                     cpu_time: cpu,
+                    seq: 0,
                     proc_time: 0,
                     trace_type: body.trace_type(),
                 },

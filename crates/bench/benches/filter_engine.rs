@@ -14,6 +14,7 @@ fn wire_chunk(records: usize) -> Vec<u8> {
             size: 0,
             machine: 3,
             cpu_time: 5_000,
+            seq: 0,
             proc_time: 20,
             trace_type: trace_type::SEND,
         },

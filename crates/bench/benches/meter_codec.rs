@@ -14,6 +14,7 @@ fn send_msg() -> MeterMsg {
             size: 0,
             machine: 5,
             cpu_time: 123_456,
+            seq: 0,
             proc_time: 320,
             trace_type: trace_type::SEND,
         },
@@ -33,6 +34,7 @@ fn accept_msg() -> MeterMsg {
             size: 0,
             machine: 5,
             cpu_time: 1,
+            seq: 0,
             proc_time: 0,
             trace_type: trace_type::ACCEPT,
         },

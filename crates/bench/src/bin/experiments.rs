@@ -216,6 +216,7 @@ fn e3_filter_throughput() {
             size: 0,
             machine: 3,
             cpu_time: 5_000,
+            seq: 0,
             proc_time: 20,
             trace_type: trace_type::SEND,
         },

@@ -15,9 +15,11 @@
 
 use crate::job::{Job, ManagedProc, ProcAction, ProcState};
 use dpm_filter::{Descriptions, LogRecord, Rules};
-use dpm_logstore::{segment_name, StoreReader};
-use dpm_meterd::{read_frame, rpc_call, LogSinkMode, Reply, Request, RpcStatus};
-use dpm_simos::{BindTo, Cluster, Domain, Pid, Proc, SockType, SysError, SysResult, Uid};
+use dpm_logstore::StoreReader;
+use dpm_meterd::{
+    read_frame, rpc_call_retry, LogSinkMode, Reply, Request, RpcStatus, RPC_TIMEOUT_MS,
+};
+use dpm_simos::{Backoff, BindTo, Cluster, Domain, Pid, Proc, SockType, SysError, SysResult, Uid};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
@@ -218,6 +220,12 @@ impl Controller {
                     for jname in &self.job_order {
                         if let Some(j) = self.jobs.get_mut(jname) {
                             if let Some(p) = j.procs.iter_mut().find(|p| p.pid == pid) {
+                                if p.state == ProcState::Killed {
+                                    // Already learned (a resync beat
+                                    // the notification, or the daemon
+                                    // retransmitted); don't re-announce.
+                                    break;
+                                }
                                 if let Some(next) = p.state.next(ProcAction::Complete) {
                                     p.state = next;
                                 } else {
@@ -261,8 +269,16 @@ impl Controller {
     /// Pumps notifications until every process of `job` has
     /// terminated (or is merely acquired), or `timeout_ms` of real
     /// time passes. Returns `true` when the job completed.
+    ///
+    /// Termination normally arrives as a daemon-initiated state-change
+    /// message, but that message is lost if the daemon dies between a
+    /// process's exit and the report. While waiting, the controller
+    /// therefore periodically *resyncs*: it queries each non-terminal
+    /// process's daemon directly and applies any terminal state it
+    /// learns, so a job still converges after a daemon crash/restart.
     pub fn wait_job(&mut self, job: &str, timeout_ms: u64) -> bool {
         let deadline = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        let mut ticks = 0u32;
         loop {
             self.pump();
             match self.jobs.get(job) {
@@ -279,7 +295,59 @@ impl Controller {
             if std::time::Instant::now() > deadline {
                 return false;
             }
+            ticks += 1;
+            if ticks.is_multiple_of(50) {
+                self.resync_job(job);
+            }
             std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+    }
+
+    /// Queries the daemons for the current state of a job's
+    /// non-terminal processes and applies what it learns, recovering
+    /// terminations whose notification never arrived.
+    fn resync_job(&mut self, job: &str) {
+        let targets: Vec<(String, String, Pid)> = match self.jobs.get(job) {
+            Some(j) => j
+                .procs
+                .iter()
+                .filter(|p| !matches!(p.state, ProcState::Killed | ProcState::Acquired))
+                .map(|p| (p.name.clone(), p.machine.clone(), p.pid))
+                .collect(),
+            None => return,
+        };
+        for (name, machine, pid) in targets {
+            let reason = match self.rpc(&machine, &Request::QueryProc { pid }) {
+                Ok(Reply::ProcStatus {
+                    status: RpcStatus::Ok,
+                    state: 0,
+                }) => Some("normal"),
+                Ok(Reply::ProcStatus {
+                    status: RpcStatus::Ok,
+                    state: 1,
+                }) => Some("killed"),
+                // The machine no longer knows the pid: the process
+                // terminated and its zombie was already reaped.
+                Ok(Reply::ProcStatus {
+                    status: RpcStatus::Srch,
+                    ..
+                }) => Some("normal"),
+                _ => None,
+            };
+            let Some(reason) = reason else { continue };
+            if let Some(p) = self
+                .jobs
+                .get_mut(job)
+                .and_then(|j| j.procs.iter_mut().find(|p| p.pid == pid))
+            {
+                p.state = p
+                    .state
+                    .next(ProcAction::Complete)
+                    .unwrap_or(ProcState::Killed);
+            }
+            self.emit(&format!(
+                "DONE: process {name} in job '{job}' terminated: reason: {reason} (resync)"
+            ));
         }
     }
 
@@ -941,12 +1009,13 @@ impl Controller {
     /// `getlog <filtername> <destination>` (§4.3).
     ///
     /// For a `log=store` filter there is no single log file to fetch:
-    /// the controller pulls the store's segment files instead (their
-    /// names are dense and probeable, `s<shard>-<n>.seg`, so "fetch
-    /// until absent" enumerates them with no extra RPC), decodes the
-    /// frames locally, and writes the same one-line-per-record text a
-    /// text filter would have produced — `getlog` output is
-    /// sink-agnostic.
+    /// the controller asks the filter's daemon to *list* the files
+    /// under the store's directory prefix, pulls each `.seg` file it
+    /// names, decodes the frames locally, and writes the same
+    /// one-line-per-record text a text filter would have produced —
+    /// `getlog` output is sink-agnostic. (Listing replaced the old
+    /// dense-name probing, which silently stopped at the first gap a
+    /// skipped or faulted segment left in the numbering.)
     fn cmd_getlog(&mut self, args: &[&str]) {
         let (Some(fname), Some(dest)) = (args.first(), args.get(1)) else {
             self.emit("usage: getlog <filtername> <destination filename>");
@@ -972,17 +1041,29 @@ impl Controller {
                 _ => self.emit(&format!("cannot retrieve log of filter '{fname}'")),
             },
             LogSinkMode::Store => {
+                let names = match self.rpc(
+                    &f.machine,
+                    &Request::ListFiles {
+                        prefix: format!("{}/", f.logfile),
+                    },
+                ) {
+                    Ok(Reply::FileList {
+                        status: RpcStatus::Ok,
+                        names,
+                    }) => names,
+                    _ => {
+                        self.emit(&format!("cannot list segments of filter '{fname}'"));
+                        return;
+                    }
+                };
                 let mut segments = Vec::new();
-                for shard in 0..f.shards.max(1) {
-                    for no in 0u32.. {
-                        let path = segment_name(&f.logfile, shard as u16, no);
-                        match self.rpc(&f.machine, &Request::GetFile { path }) {
-                            Ok(Reply::File {
-                                status: RpcStatus::Ok,
-                                data,
-                            }) => segments.push(data),
-                            _ => break,
-                        }
+                for path in names.into_iter().filter(|n| n.ends_with(".seg")) {
+                    if let Ok(Reply::File {
+                        status: RpcStatus::Ok,
+                        data,
+                    }) = self.rpc(&f.machine, &Request::GetFile { path })
+                    {
+                        segments.push(data);
                     }
                 }
                 let reader = StoreReader::from_segment_bytes(segments);
@@ -1078,6 +1159,17 @@ impl Controller {
     }
 
     fn rpc(&self, machine: &str, req: &Request) -> Result<Reply, SysError> {
-        rpc_call(&self.proc, machine, req)
+        // The hardened call: per-attempt timeout, bounded retries, and
+        // an idempotency id the daemon dedups on — a retried create is
+        // applied once even when the first reply was lost. Exhaustion
+        // comes back in-band as Timeout/Unavailable, feeding the same
+        // per-command error reporting as any other failure status.
+        rpc_call_retry(
+            &self.proc,
+            machine,
+            req,
+            RPC_TIMEOUT_MS,
+            Backoff::new(8, 5, 100),
+        )
     }
 }

@@ -56,7 +56,7 @@ use std::sync::atomic::{AtomicU16, Ordering};
 use std::sync::Arc;
 
 /// Builder for a ready-to-measure [`Simulation`].
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct SimulationBuilder {
     machines: Vec<(String, Option<ClockSpec>)>,
     net: Option<NetConfig>,
@@ -64,6 +64,18 @@ pub struct SimulationBuilder {
     costs: Option<CpuCosts>,
     meter_buffer: Option<u32>,
     skip_workloads: bool,
+    injector: Option<Arc<dyn dpm_simnet::FaultInjector>>,
+}
+
+impl std::fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("machines", &self.machines)
+            .field("net", &self.net)
+            .field("seed", &self.seed)
+            .field("has_injector", &self.injector.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl SimulationBuilder {
@@ -111,6 +123,15 @@ impl SimulationBuilder {
         self
     }
 
+    /// Installs a fault injector (see [`dpm_simnet::FaultInjector`])
+    /// consulted by the kernel's delivery paths — the hook a chaos
+    /// plan uses to script drops, partitions and duplicated meter
+    /// flushes. Without one, all hooks are no-ops.
+    pub fn fault_injector(mut self, injector: Arc<dyn dpm_simnet::FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
     /// Builds the cluster, installs the standard filter program,
     /// starts a meterdaemon on every machine, and (unless disabled)
     /// registers the example workloads.
@@ -132,6 +153,9 @@ impl SimulationBuilder {
         }
         if let Some(m) = self.meter_buffer {
             b = b.meter_buffer(m);
+        }
+        if let Some(inj) = self.injector {
+            b = b.fault_injector(inj);
         }
         for (name, spec) in &self.machines {
             b = match spec {

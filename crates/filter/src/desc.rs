@@ -313,6 +313,7 @@ mod tests {
                 size: 0,
                 machine: 5,
                 cpu_time: 9_999,
+                seq: 0,
                 proc_time: 40,
                 trace_type: dpm_meter::trace_type::SEND,
             },
@@ -432,6 +433,7 @@ mod tests {
                 size: 0,
                 machine: 0,
                 cpu_time: 0,
+                seq: 0,
                 proc_time: 0,
                 trace_type: dpm_meter::trace_type::SEND,
             },

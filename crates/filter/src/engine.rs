@@ -43,6 +43,9 @@ pub struct FilterStats {
     pub kept: u64,
     /// Records rejected by the selection rules.
     pub rejected: u64,
+    /// Records dropped as duplicates by sequence-number dedup
+    /// (at-least-once retransmission of a meter flush).
+    pub duplicates: u64,
     /// Bytes of malformed input dropped while resynchronizing.
     pub garbage_bytes: u64,
 }
@@ -54,6 +57,7 @@ impl FilterStats {
             seen: self.seen + other.seen,
             kept: self.kept + other.kept,
             rejected: self.rejected + other.rejected,
+            duplicates: self.duplicates + other.duplicates,
             garbage_bytes: self.garbage_bytes + other.garbage_bytes,
         }
     }
@@ -106,6 +110,25 @@ impl<'a> RecordView<'a> {
         ])
     }
 
+    /// The header's per-process sequence number, read in place. `0`
+    /// means unsequenced (pre-sequence producers); see
+    /// [`dpm_meter::MeterHeader::seq`].
+    pub fn seq(&self) -> u32 {
+        u32::from_le_bytes([
+            self.bytes[12],
+            self.bytes[13],
+            self.bytes[14],
+            self.bytes[15],
+        ])
+    }
+
+    /// The emitting process id, read in place. Every meter body puts
+    /// `pid` at body offset 0; returns `None` for a header-only frame.
+    pub fn pid(&self) -> Option<u32> {
+        let b = self.bytes.get(HEADER_LEN..HEADER_LEN + 4)?;
+        Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
     /// Decodes the full message, allocating owned bodies.
     ///
     /// # Errors
@@ -138,7 +161,7 @@ impl Deref for RecordView<'_> {
 ///     Rules::parse("type=7")?, // keep only forks
 /// );
 /// let msg = MeterMsg {
-///     header: MeterHeader { size: 0, machine: 0, cpu_time: 5, proc_time: 0,
+///     header: MeterHeader { size: 0, machine: 0, cpu_time: 5, seq: 0, proc_time: 0,
 ///                           trace_type: trace_type::FORK },
 ///     body: MeterBody::Fork(MeterFork { pid: 1, pc: 2, new_pid: 3 }),
 /// };
@@ -166,6 +189,11 @@ pub struct FilterEngine {
     /// Carry buffer holding only a partial tail between chunks.
     pending: Vec<u8>,
     stats: FilterStats,
+    /// Highest sequence number seen per `(machine, pid)`, for
+    /// duplicate suppression. A meter connection is an ordered stream
+    /// and a retransmitted flush replays records already delivered, so
+    /// `seq <= last` identifies the duplicates exactly.
+    last_seq: std::collections::HashMap<(u16, u32), u32>,
 }
 
 impl FilterEngine {
@@ -176,6 +204,7 @@ impl FilterEngine {
             rules,
             pending: Vec::new(),
             stats: FilterStats::default(),
+            last_seq: std::collections::HashMap::new(),
         }
     }
 
@@ -337,6 +366,20 @@ impl FilterEngine {
         F: FnMut(RecordView<'_>, LogRecord),
     {
         self.stats.seen += 1;
+        // Sequence dedup: a record whose per-process sequence does not
+        // advance is a retransmitted copy. Sequence 0 marks legacy
+        // unsequenced producers and is never deduplicated.
+        let seq = record.seq();
+        if seq != 0 {
+            if let Some(pid) = record.pid() {
+                let last = self.last_seq.entry((record.machine(), pid)).or_insert(0);
+                if seq <= *last {
+                    self.stats.duplicates += 1;
+                    return;
+                }
+                *last = seq;
+            }
+        }
         match self.rules.verdict(&self.desc, record.bytes()) {
             Verdict::Reject => {
                 self.stats.rejected += 1;
@@ -384,6 +427,7 @@ mod tests {
                 size: 0,
                 machine,
                 cpu_time: 1,
+                seq: 0,
                 proc_time: 0,
                 trace_type: body.trace_type(),
             },
@@ -580,13 +624,15 @@ mod tests {
             seen: 1,
             kept: 2,
             rejected: 3,
-            garbage_bytes: 4,
+            duplicates: 4,
+            garbage_bytes: 5,
         };
         let b = FilterStats {
             seen: 10,
             kept: 20,
             rejected: 30,
-            garbage_bytes: 40,
+            duplicates: 40,
+            garbage_bytes: 50,
         };
         assert_eq!(
             a.merge(&b),
@@ -594,8 +640,68 @@ mod tests {
                 seen: 11,
                 kept: 22,
                 rejected: 33,
-                garbage_bytes: 44,
+                duplicates: 44,
+                garbage_bytes: 55,
             }
         );
+    }
+
+    /// Encodes a send message with an explicit per-process sequence.
+    fn send_seq(machine: u16, pid: u32, seq: u32) -> Vec<u8> {
+        MeterMsg {
+            header: MeterHeader {
+                size: 0,
+                machine,
+                cpu_time: 1,
+                seq,
+                proc_time: 0,
+                trace_type: dpm_meter::trace_type::SEND,
+            },
+            body: MeterBody::Send(MeterSendMsg {
+                pid,
+                pc: 0,
+                sock: 2,
+                msg_length: 9,
+                dest_name: None,
+            }),
+        }
+        .encode()
+    }
+
+    #[test]
+    fn retransmitted_flush_is_deduplicated() {
+        let mut e = FilterEngine::standard();
+        // A flush batch of three records...
+        let mut batch = send_seq(1, 50, 1);
+        batch.extend_from_slice(&send_seq(1, 50, 2));
+        batch.extend_from_slice(&send_seq(1, 50, 3));
+        let first = e.feed(&batch);
+        assert_eq!(first.len(), 3);
+        // ...delivered a second time (at-least-once retransmission).
+        let second = e.feed(&batch);
+        assert!(second.is_empty(), "duplicates must not double-count");
+        assert_eq!(e.stats().duplicates, 3);
+        assert_eq!(e.stats().kept, 3);
+    }
+
+    #[test]
+    fn dedup_is_per_process_and_per_machine() {
+        let mut e = FilterEngine::standard();
+        let mut wire = send_seq(1, 50, 1);
+        wire.extend_from_slice(&send_seq(1, 51, 1)); // other pid
+        wire.extend_from_slice(&send_seq(2, 50, 1)); // other machine
+        let lines = e.feed(&wire);
+        assert_eq!(lines.len(), 3, "same seq, distinct processes");
+        assert_eq!(e.stats().duplicates, 0);
+    }
+
+    #[test]
+    fn unsequenced_records_are_never_deduplicated() {
+        let mut e = FilterEngine::standard();
+        let mut wire = send_seq(1, 50, 0);
+        wire.extend_from_slice(&send_seq(1, 50, 0));
+        let lines = e.feed(&wire);
+        assert_eq!(lines.len(), 2, "seq 0 means unsequenced");
+        assert_eq!(e.stats().duplicates, 0);
     }
 }

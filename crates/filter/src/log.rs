@@ -215,6 +215,7 @@ mod tests {
                 size: 0,
                 machine: 0,
                 cpu_time: 2113,
+                seq: 0,
                 proc_time: 10,
                 trace_type: dpm_meter::trace_type::SEND,
             },

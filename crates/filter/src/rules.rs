@@ -393,6 +393,7 @@ mod tests {
                 size: 0,
                 machine,
                 cpu_time: cpu,
+                seq: 0,
                 proc_time: 0,
                 trace_type: body.trace_type(),
             },

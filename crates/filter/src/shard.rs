@@ -121,6 +121,7 @@ struct ShardCounters {
     seen: AtomicU64,
     kept: AtomicU64,
     rejected: AtomicU64,
+    duplicates: AtomicU64,
     garbage_bytes: AtomicU64,
 }
 
@@ -129,6 +130,7 @@ impl ShardCounters {
         self.seen.store(s.seen, Ordering::Relaxed);
         self.kept.store(s.kept, Ordering::Relaxed);
         self.rejected.store(s.rejected, Ordering::Relaxed);
+        self.duplicates.store(s.duplicates, Ordering::Relaxed);
         self.garbage_bytes.store(s.garbage_bytes, Ordering::Relaxed);
     }
 
@@ -137,6 +139,7 @@ impl ShardCounters {
             seen: self.seen.load(Ordering::Relaxed),
             kept: self.kept.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
             garbage_bytes: self.garbage_bytes.load(Ordering::Relaxed),
         }
     }
@@ -406,6 +409,7 @@ mod tests {
                 size: 0,
                 machine,
                 cpu_time: 1,
+                seq: 0,
                 proc_time: 0,
                 trace_type: dpm_meter::trace_type::SEND,
             },

@@ -12,6 +12,7 @@ fn send_record(machine: u16, cpu: u32, pid: u32, len: u32) -> Vec<u8> {
             size: 0,
             machine,
             cpu_time: cpu,
+            seq: 0,
             proc_time: 0,
             trace_type: dpm_meter::trace_type::SEND,
         },

@@ -23,6 +23,22 @@ use std::sync::{Arc, RwLock};
 pub trait Backend: Send + Sync {
     /// Appends to a file, creating it if absent.
     fn append(&self, name: &str, data: &[u8]);
+    /// Fallible append, for backends that can report I/O faults (a
+    /// chaos harness injecting torn writes or transient errors). The
+    /// default delegates to the infallible [`Backend::append`], so
+    /// existing backends need no change. A failed `try_append` may
+    /// have appended a *prefix* of `data` (a torn write); callers are
+    /// expected to heal by reading the file back and truncating to the
+    /// last known-durable length before retrying.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return any [`std::io::Error`] the substrate
+    /// produced; the default implementation never fails.
+    fn try_append(&self, name: &str, data: &[u8]) -> std::io::Result<()> {
+        self.append(name, data);
+        Ok(())
+    }
     /// Writes (creates or replaces) a file — used to truncate a torn
     /// segment tail on recovery and to replace index sidecars.
     fn write(&self, name: &str, data: &[u8]);

@@ -314,12 +314,46 @@ impl SegmentWriter {
     /// segment's index sidecar. Batches always end on a frame
     /// boundary, so a reader never observes half a frame from a
     /// flush.
+    ///
+    /// Appends go through the fallible [`Backend::try_append`] with
+    /// bounded retries. A failed attempt may have appended a prefix of
+    /// the batch (a torn write); before each retry the writer reads
+    /// the segment back and truncates it to the last durable length,
+    /// so a batch lands exactly once — no loss, no duplication — as
+    /// long as one retry eventually succeeds. If every retry fails the
+    /// batch is kept in memory for the next flush.
     pub fn flush(&mut self) {
         if self.batch.is_empty() {
             return;
         }
         let name = segment_name(&self.dir, self.shard, self.seg_no);
-        self.backend.append(&name, &self.batch);
+        const TRIES: u32 = 8;
+        let mut appended = false;
+        for attempt in 0..TRIES {
+            if attempt > 0 {
+                // Heal a possible torn tail from the failed attempt.
+                if let Some(cur) = self.backend.read(&name) {
+                    if cur.len() > self.durable {
+                        self.backend.write(&name, &cur[..self.durable]);
+                    }
+                }
+            }
+            if self.backend.try_append(&name, &self.batch).is_ok() {
+                appended = true;
+                break;
+            }
+        }
+        if !appended {
+            // Persistent failure: keep the batch buffered; a later
+            // flush (or Drop) retries. Heal any torn tail now so
+            // readers never see half a frame.
+            if let Some(cur) = self.backend.read(&name) {
+                if cur.len() > self.durable {
+                    self.backend.write(&name, &cur[..self.durable]);
+                }
+            }
+            return;
+        }
         self.durable += self.batch.len();
         self.batch.clear();
         self.index.data_len = self.durable as u64;
@@ -506,6 +540,81 @@ mod tests {
         assert_eq!(merged, vec![0, 1, 2, 3], "scan merges shards by seq");
         let shards: Vec<u16> = reader.scan().map(|f| f.shard).collect();
         assert_eq!(shards, vec![0, 1, 0, 1]);
+    }
+
+    /// A backend whose `try_append` fails (leaving a torn prefix) on a
+    /// scripted set of attempts.
+    struct TornBackend {
+        inner: MemBackend,
+        fail_next: std::sync::Mutex<u32>,
+    }
+
+    impl Backend for TornBackend {
+        fn append(&self, name: &str, data: &[u8]) {
+            self.inner.append(name, data);
+        }
+        fn write(&self, name: &str, data: &[u8]) {
+            self.inner.write(name, data);
+        }
+        fn read(&self, name: &str) -> Option<Vec<u8>> {
+            self.inner.read(name)
+        }
+        fn list(&self, prefix: &str) -> Vec<String> {
+            self.inner.list(prefix)
+        }
+        fn try_append(&self, name: &str, data: &[u8]) -> std::io::Result<()> {
+            let mut left = self.fail_next.lock().unwrap();
+            if *left > 0 {
+                *left -= 1;
+                // Torn write: half the batch lands, then the error.
+                self.inner.append(name, &data[..data.len() / 2]);
+                return Err(std::io::Error::other("injected"));
+            }
+            self.inner.append(name, data);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn flush_heals_torn_writes_without_loss_or_duplication() {
+        let backend = Arc::new(TornBackend {
+            inner: MemBackend::new(),
+            fail_next: std::sync::Mutex::new(3),
+        });
+        let store = LogStore::open(
+            Arc::clone(&backend) as Arc<dyn Backend>,
+            "d",
+            StoreConfig::default(),
+        );
+        let mut w = store.writer(0);
+        for i in 0..10 {
+            w.append(&raw(0, i, 0));
+        }
+        w.flush();
+        // Two torn attempts healed, third retry succeeded: exactly one
+        // copy of every frame, in order.
+        let seqs: Vec<u64> = store.reader().scan().map(|f| f.seq).collect();
+        assert_eq!(seqs, (0..10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn flush_keeps_the_batch_on_persistent_failure() {
+        let backend = Arc::new(TornBackend {
+            inner: MemBackend::new(),
+            fail_next: std::sync::Mutex::new(u32::MAX),
+        });
+        let store = LogStore::open(
+            Arc::clone(&backend) as Arc<dyn Backend>,
+            "d",
+            StoreConfig::default(),
+        );
+        let mut w = store.writer(0);
+        w.append(&raw(0, 1, 0));
+        w.flush(); // every attempt fails; the batch stays buffered
+        assert_eq!(store.reader().scan().count(), 0, "no torn tail visible");
+        *backend.fail_next.lock().unwrap() = 0;
+        w.flush(); // backend healthy again: the batch lands once
+        assert_eq!(store.reader().scan().count(), 1);
     }
 
     #[test]

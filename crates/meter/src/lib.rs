@@ -23,7 +23,7 @@
 //! use dpm_meter::{MeterHeader, MeterMsg, MeterBody, MeterSendMsg, SockName};
 //!
 //! let msg = MeterMsg {
-//!     header: MeterHeader { size: 0, machine: 3, cpu_time: 120, proc_time: 40,
+//!     header: MeterHeader { size: 0, machine: 3, cpu_time: 120, seq: 0, proc_time: 40,
 //!                           trace_type: dpm_meter::trace_type::SEND },
 //!     body: MeterBody::Send(MeterSendMsg {
 //!         pid: 2120, pc: 0x452, sock: 5, msg_length: 64,

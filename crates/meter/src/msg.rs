@@ -87,10 +87,17 @@ pub const MAX_METER_MSG: usize = 4096;
 ///      4     2  machine    -- machine on which process runs
 ///      6     2  (padding)
 ///      8     4  cpuTime    -- local clock, milliseconds
-///     12     4  dummy      -- unused
+///     12     4  seq        -- per-process sequence (paper: dummy)
 ///     16     4  procTime   -- time charged to the user process, ms
 ///     20     4  traceType  -- type of message
 /// ```
+///
+/// The paper's header carries an unused `dummy` word at offset 12;
+/// this implementation repurposes it as a per-process **sequence
+/// number** so the filter can discard duplicate records delivered by
+/// at-least-once retransmission. A value of `0` means *unsequenced*
+/// (the paper's original layout); the kernel stamps sequences starting
+/// at 1. Wire size and all other offsets are unchanged.
 ///
 /// The system clock time (`cpu_time`) is useful for establishing the
 /// order of events *on a particular machine*; the separate machines'
@@ -106,6 +113,11 @@ pub struct MeterHeader {
     pub machine: u16,
     /// Reading of the machine's local clock, in milliseconds.
     pub cpu_time: u32,
+    /// Per-process sequence number, stamped by the kernel metering
+    /// code in the header word the paper leaves unused (`dummy`).
+    /// `0` means unsequenced; real sequences start at 1 and increase
+    /// by one per emitted message of the same process.
+    pub seq: u32,
     /// CPU time charged to the user process, in milliseconds,
     /// quantized to 10 ms.
     pub proc_time: u32,
@@ -119,7 +131,7 @@ impl MeterHeader {
         out.extend_from_slice(&self.machine.to_le_bytes());
         out.extend_from_slice(&0u16.to_le_bytes()); // padding
         out.extend_from_slice(&self.cpu_time.to_le_bytes());
-        out.extend_from_slice(&0u32.to_le_bytes()); // dummy
+        out.extend_from_slice(&self.seq.to_le_bytes()); // paper: dummy
         out.extend_from_slice(&self.proc_time.to_le_bytes());
         out.extend_from_slice(&self.trace_type.to_le_bytes());
     }
@@ -135,6 +147,7 @@ impl MeterHeader {
             size: read_u32(buf, 0),
             machine: u16::from_le_bytes([buf[4], buf[5]]),
             cpu_time: read_u32(buf, 8),
+            seq: read_u32(buf, 12),
             proc_time: read_u32(buf, 16),
             trace_type: read_u32(buf, 20),
         })
@@ -762,6 +775,12 @@ impl<'a> MeterRecord<'a> {
         read_u32(self.bytes, 20)
     }
 
+    /// The per-process sequence number, read in place (`0` means
+    /// unsequenced; see [`MeterHeader::seq`]).
+    pub fn seq(&self) -> u32 {
+        read_u32(self.bytes, 12)
+    }
+
     /// Decodes the full message, allocating owned bodies.
     ///
     /// # Errors
@@ -916,6 +935,7 @@ mod tests {
             size: 0,
             machine: 5,
             cpu_time: 9_999,
+            seq: 0,
             proc_time: 40,
             trace_type: trace,
         }

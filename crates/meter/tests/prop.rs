@@ -99,6 +99,7 @@ fn arb_msg() -> impl Strategy<Value = MeterMsg> {
                 size: 0,
                 machine,
                 cpu_time,
+                seq: 0,
                 proc_time,
                 trace_type: body.trace_type(),
             },

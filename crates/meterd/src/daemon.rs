@@ -15,11 +15,12 @@
 use crate::proto::{frame_len, Reply, Request, RpcStatus};
 use dpm_meter::{MeterFlags, TermReason};
 use dpm_simos::{
-    BindTo, Cluster, Domain, Fd, FlagSel, Pid, PidSel, Proc, Sig, SockSel, SockType, SysError,
-    SysResult, Uid,
+    connect_backoff, Backoff, BindTo, Cluster, Domain, Fd, FlagSel, Pid, PidSel, Proc, RunState,
+    Sig, SockSel, SockType, SysError, SysResult, Uid,
 };
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The well-known port every meterdaemon listens on.
@@ -69,6 +70,10 @@ pub fn read_frame(p: &Proc, fd: Fd) -> SysResult<Option<Vec<u8>>> {
 /// Performs one controller-side RPC: temporary connection, one
 /// request, one reply, close (§3.5.1).
 ///
+/// This is the raw single-attempt exchange with no timeout; callers
+/// that must survive a lossy network or a restarting daemon should use
+/// [`rpc_call_retry`] instead.
+///
 /// # Errors
 ///
 /// Connection errors propagate; a garbled reply is `EINVAL`.
@@ -82,6 +87,122 @@ pub fn rpc_call(p: &Proc, host: &str, req: &Request) -> SysResult<Reply> {
     })();
     let _ = p.close(s);
     result
+}
+
+/// Default per-attempt reply timeout for [`rpc_call_retry`], in
+/// virtual milliseconds. Generous next to the simulated WAN latencies
+/// (tens of milliseconds) yet short enough that a partitioned daemon
+/// is retried, not waited on forever.
+pub const RPC_TIMEOUT_MS: u64 = 400;
+
+/// Source of idempotency keys for [`rpc_call_retry`]. Uniqueness is
+/// all that matters — the daemon's dedup cache keys on the id, and the
+/// fault schedule never looks at it.
+static NEXT_REQ_ID: AtomicU64 = AtomicU64::new(1);
+
+/// What one RPC attempt came back with.
+enum Attempt {
+    Got(Reply),
+    /// Could not connect, or the connection died before a full reply.
+    Unreachable,
+    /// Connected and sent, but no reply within the timeout.
+    TimedOut,
+}
+
+/// Reads one protocol frame, giving up after `timeout_ms` of virtual
+/// time. Polls non-blockingly, advancing the virtual clock between
+/// polls (the same discipline as the workloads' `read_timeout`).
+fn read_frame_deadline(p: &Proc, fd: Fd, timeout_ms: u64) -> SysResult<Attempt> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut waited = 0u64;
+    loop {
+        let want = match frame_len(&buf) {
+            Some(total) => {
+                if !(8..=16 * 1024 * 1024).contains(&total) {
+                    return Ok(Attempt::Unreachable);
+                }
+                if buf.len() >= total {
+                    match Reply::decode(&buf) {
+                        Ok(reply) => return Ok(Attempt::Got(reply)),
+                        Err(_) => return Ok(Attempt::Unreachable),
+                    }
+                }
+                total - buf.len()
+            }
+            None => 4 - buf.len(),
+        };
+        match p.read_nb(fd, want)? {
+            Some(chunk) if chunk.is_empty() => return Ok(Attempt::Unreachable), // EOF
+            Some(chunk) => buf.extend_from_slice(&chunk),
+            None => {
+                if waited >= timeout_ms {
+                    return Ok(Attempt::TimedOut);
+                }
+                p.sleep_ms(2)?;
+                waited += 2;
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+    }
+}
+
+/// One attempt of the hardened RPC: connect, send the pre-encoded
+/// tagged request, wait (bounded) for the reply.
+fn rpc_attempt(p: &Proc, host: &str, wire: &[u8], timeout_ms: u64) -> SysResult<Attempt> {
+    let s = p.socket(Domain::Inet, SockType::Stream)?;
+    let result = (|| {
+        if p.connect_host(s, host, METERD_PORT).is_err() {
+            return Ok(Attempt::Unreachable);
+        }
+        if p.write(s, wire).is_err() {
+            return Ok(Attempt::Unreachable);
+        }
+        read_frame_deadline(p, s, timeout_ms)
+    })();
+    let _ = p.close(s);
+    result
+}
+
+/// The hardened controller-side RPC: per-attempt reply timeout,
+/// bounded exponential-backoff retries, and an idempotency key so a
+/// retried request is applied by the daemon at most once (the daemon
+/// replays its cached reply for a request id it has already served).
+///
+/// Failure is reported in-band rather than as an error: when every
+/// attempt is exhausted the result is an [`Reply::Ack`] carrying
+/// [`RpcStatus::Timeout`] (sent but no reply in time) or
+/// [`RpcStatus::Unavailable`] (could not reach the daemon at all), so
+/// callers handle a dead daemon through the same status path as any
+/// other refusal.
+///
+/// # Errors
+///
+/// Only process-fatal errors ([`SysError::Killed`]) propagate.
+pub fn rpc_call_retry(
+    p: &Proc,
+    host: &str,
+    req: &Request,
+    timeout_ms: u64,
+    mut retry: Backoff,
+) -> SysResult<Reply> {
+    let req_id = NEXT_REQ_ID.fetch_add(1, Ordering::Relaxed);
+    let wire = Request::Tagged {
+        req_id,
+        inner: Box::new(req.clone()),
+    }
+    .encode();
+    loop {
+        let last = match rpc_attempt(p, host, &wire, timeout_ms) {
+            Ok(Attempt::Got(reply)) => return Ok(reply),
+            Ok(Attempt::Unreachable) => RpcStatus::Unavailable,
+            Ok(Attempt::TimedOut) => RpcStatus::Timeout,
+            Err(SysError::Killed) => return Err(SysError::Killed),
+            Err(_) => RpcStatus::Unavailable,
+        };
+        if !retry.wait(p)? {
+            return Ok(Reply::Ack { status: last });
+        }
+    }
 }
 
 /// Sends a one-way notification (state change, I/O data) to a
@@ -99,6 +220,36 @@ pub fn notify(p: &Proc, host: &str, port: u16, req: &Request) -> SysResult<()> {
     })();
     let _ = p.close(s);
     result
+}
+
+/// How many served request ids the daemon remembers for replaying
+/// replies to retried [`Request::Tagged`] calls.
+const REPLY_CACHE_CAP: usize = 256;
+
+/// A bounded FIFO cache of encoded replies keyed by request id. A
+/// retried `CreateFilter` or `Start` whose first reply was lost gets
+/// the original reply replayed instead of a second execution.
+#[derive(Debug, Default)]
+struct ReplyCache {
+    map: HashMap<u64, Vec<u8>>,
+    order: VecDeque<u64>,
+}
+
+impl ReplyCache {
+    fn get(&self, req_id: u64) -> Option<Vec<u8>> {
+        self.map.get(&req_id).cloned()
+    }
+
+    fn insert(&mut self, req_id: u64, reply: Vec<u8>) {
+        if self.map.insert(req_id, reply).is_none() {
+            self.order.push_back(req_id);
+            if self.order.len() > REPLY_CACHE_CAP {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
 }
 
 /// What the daemon remembers about each process it created.
@@ -134,10 +285,28 @@ pub fn start_meterdaemons(cluster: &Arc<Cluster>) -> Vec<Pid> {
 /// per-request errors are turned into error replies.
 pub fn meterd_main(p: Proc, _args: Vec<String>) -> SysResult<()> {
     let listener = p.socket(Domain::Inet, SockType::Stream)?;
-    p.bind(listener, BindTo::Port(METERD_PORT))?;
+    // A restarted daemon can find its well-known port still bound:
+    // processes the previous daemon spawned inherited its descriptors
+    // (fork semantics, no close-on-exec in 4.2BSD's spawn path here),
+    // so the old listener lives until the last such child exits.
+    // Retry with the shared bounded backoff instead of dying — the
+    // port frees as the orphaned children finish.
+    let mut retry = Backoff::standard();
+    loop {
+        match p.bind(listener, BindTo::Port(METERD_PORT)) {
+            Ok(_) => break,
+            Err(SysError::Eaddrinuse) => {
+                if !retry.wait(&p)? {
+                    return Err(SysError::Eaddrinuse);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
     p.listen(listener, 16)?;
 
     let procs: Arc<Mutex<HashMap<Pid, ProcInfo>>> = Arc::new(Mutex::new(HashMap::new()));
+    let replies: Arc<Mutex<ReplyCache>> = Arc::new(Mutex::new(ReplyCache::default()));
 
     // The SIGCHLD handler: "when a process changes state (stops or
     // terminates), a signal handling procedure in the meterdaemon is
@@ -186,7 +355,7 @@ pub fn meterd_main(p: Proc, _args: Vec<String>) -> SysResult<()> {
 
     loop {
         let (conn, _who) = p.accept(listener)?;
-        let outcome = serve_one(&p, conn, &procs);
+        let outcome = serve_one(&p, conn, &procs, &replies);
         let _ = p.close(conn);
         // Individual request failures must not kill the daemon, but a
         // kill signal must.
@@ -196,8 +365,16 @@ pub fn meterd_main(p: Proc, _args: Vec<String>) -> SysResult<()> {
     }
 }
 
-/// Handles one temporary connection: one request, one reply.
-fn serve_one(p: &Proc, conn: Fd, procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>) -> SysResult<()> {
+/// Handles one temporary connection: one request, one reply. A
+/// [`Request::Tagged`] wrapper is unwrapped here; an id the daemon has
+/// already served gets its cached reply replayed without re-executing
+/// the request.
+fn serve_one(
+    p: &Proc,
+    conn: Fd,
+    procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>,
+    replies: &Arc<Mutex<ReplyCache>>,
+) -> SysResult<()> {
     let Some(frame) = read_frame(p, conn)? else {
         return Ok(());
     };
@@ -214,9 +391,23 @@ fn serve_one(p: &Proc, conn: Fd, procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>) -> 
             return Ok(());
         }
     };
+    let (req_id, req) = match req {
+        Request::Tagged { req_id, inner } => (Some(req_id), *inner),
+        other => (None, other),
+    };
+    if let Some(id) = req_id {
+        if let Some(cached) = replies.lock().get(id) {
+            p.write(conn, &cached)?;
+            return Ok(());
+        }
+    }
     let reply = handle(p, procs, req)?;
     if let Some(reply) = reply {
-        p.write(conn, &reply.encode())?;
+        let bytes = reply.encode();
+        if let Some(id) = req_id {
+            replies.lock().insert(id, bytes.clone());
+        }
+        p.write(conn, &bytes)?;
     }
     Ok(())
 }
@@ -362,34 +553,41 @@ fn handle(
                 },
             }))
         }
+        Request::QueryProc { pid } => Ok(Some(match p.machine().proc_state(pid) {
+            Some(state) => Reply::ProcStatus {
+                status: RpcStatus::Ok,
+                state: match state {
+                    RunState::Zombie(TermReason::Normal) => 0,
+                    RunState::Zombie(TermReason::Killed) => 1,
+                    RunState::Stopped => 2,
+                    RunState::Embryo | RunState::Running => 3,
+                },
+            },
+            None => Reply::ProcStatus {
+                status: RpcStatus::Srch,
+                state: 0,
+            },
+        })),
+        Request::ListFiles { prefix } => Ok(Some(Reply::FileList {
+            status: RpcStatus::Ok,
+            names: p.machine().fs().list(&prefix),
+        })),
+        // Tagged is unwrapped by `serve_one` before dispatch; one
+        // arriving here is a protocol violation (nested wrapping is
+        // also rejected at decode time).
+        Request::Tagged { .. } => Ok(Some(Reply::Ack {
+            status: RpcStatus::Fail,
+        })),
         // One-way messages are controller-bound; a daemon receiving
         // them ignores them.
         Request::StateChange { .. } | Request::IoData { .. } => Ok(None),
     }
 }
 
-/// Connects a stream socket to the filter, retrying briefly — a
-/// just-created filter may not have bound its port yet.
+/// Connects a stream socket to the filter on the shared backoff
+/// policy — a just-created filter may not have bound its port yet.
 fn connect_filter(p: &Proc, host: &str, port: u16) -> SysResult<Fd> {
-    let mut tries = 0;
-    loop {
-        let s = p.socket(Domain::Inet, SockType::Stream)?;
-        match p.connect_host(s, host, port) {
-            Ok(()) => return Ok(s),
-            Err(SysError::Econnrefused) if tries < 200 => {
-                let _ = p.close(s);
-                tries += 1;
-                p.sleep_ms(5)?;
-                // Virtual sleeps are instantaneous in real time; give
-                // the just-spawned filter thread real time to bind.
-                std::thread::sleep(std::time::Duration::from_millis(1));
-            }
-            Err(e) => {
-                let _ = p.close(s);
-                return Err(e);
-            }
-        }
-    }
+    connect_backoff(p, host, port, Backoff::standard())
 }
 
 fn ack<T>(r: SysResult<T>) -> Reply {

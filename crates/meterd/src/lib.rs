@@ -22,7 +22,7 @@ pub mod daemon;
 pub mod proto;
 
 pub use daemon::{
-    meterd_main, notify, read_exact, read_frame, rpc_call, start_meterdaemons, METERD_PORT,
-    METERD_PROGRAM,
+    meterd_main, notify, read_exact, read_frame, rpc_call, rpc_call_retry, start_meterdaemons,
+    METERD_PORT, METERD_PROGRAM, RPC_TIMEOUT_MS,
 };
 pub use proto::{frame_len, msg_type, LogSinkMode, ProtoError, Reply, Request, RpcStatus};

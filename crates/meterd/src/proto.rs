@@ -62,6 +62,20 @@ pub mod msg_type {
     pub const WRITE_FILE: u32 = 25;
     /// Feed bytes to a process's redirected standard input.
     pub const SEND_INPUT: u32 = 26;
+    /// An idempotency wrapper: a request id plus a nested request.
+    /// Retried calls reuse the id; the daemon replays the cached
+    /// reply instead of re-executing.
+    pub const TAGGED: u32 = 27;
+    /// Query the state of a process (controller resync after a daemon
+    /// restart).
+    pub const QUERY_PROC: u32 = 28;
+    /// Reply to `QUERY_PROC`.
+    pub const PROC_STATUS: u32 = 29;
+    /// List files under a prefix on the daemon's machine (segment
+    /// enumeration for store-backed logs).
+    pub const LIST_FILES: u32 = 30;
+    /// Reply to `LIST_FILES`.
+    pub const FILE_LIST: u32 = 31;
 }
 
 /// Status code carried in replies. On the wire this is a bare `u32`
@@ -85,6 +99,12 @@ pub enum RpcStatus {
     Perm,
     /// Anything else that went wrong (wire code 4).
     Fail,
+    /// The caller gave up waiting for a reply (wire code 5). Produced
+    /// locally by the RPC timeout path, never sent by a daemon.
+    Timeout,
+    /// The daemon could not be reached after retries (wire code 6).
+    /// Produced locally by the RPC retry path.
+    Unavailable,
     /// A wire code this build does not know about.
     Other(u32),
 }
@@ -109,6 +129,8 @@ impl From<u32> for RpcStatus {
             2 => RpcStatus::Srch,
             3 => RpcStatus::Perm,
             4 => RpcStatus::Fail,
+            5 => RpcStatus::Timeout,
+            6 => RpcStatus::Unavailable,
             other => RpcStatus::Other(other),
         }
     }
@@ -122,6 +144,8 @@ impl From<RpcStatus> for u32 {
             RpcStatus::Srch => 2,
             RpcStatus::Perm => 3,
             RpcStatus::Fail => 4,
+            RpcStatus::Timeout => 5,
+            RpcStatus::Unavailable => 6,
             RpcStatus::Other(code) => code,
         }
     }
@@ -135,6 +159,8 @@ impl fmt::Display for RpcStatus {
             RpcStatus::Srch => write!(f, "no such process"),
             RpcStatus::Perm => write!(f, "permission denied"),
             RpcStatus::Fail => write!(f, "request failed"),
+            RpcStatus::Timeout => write!(f, "request timed out"),
+            RpcStatus::Unavailable => write!(f, "daemon unavailable"),
             RpcStatus::Other(code) => write!(f, "unknown status {code}"),
         }
     }
@@ -314,6 +340,29 @@ pub enum Request {
         /// What it wrote.
         data: Vec<u8>,
     },
+    /// `27`: an idempotency wrapper around another request. The id is
+    /// chosen by the caller and reused verbatim on every retry of the
+    /// same logical call; the daemon caches the reply it sent for each
+    /// id and replays it for duplicates, so a retried `CreateFilter`
+    /// or `Start` is applied exactly once.
+    Tagged {
+        /// Caller-chosen request id, unique per logical call.
+        req_id: u64,
+        /// The wrapped request.
+        inner: Box<Request>,
+    },
+    /// `28`: query a process's current state (controller resync after
+    /// a daemon restart loses in-flight state-change notifications).
+    QueryProc {
+        /// The process.
+        pid: Pid,
+    },
+    /// `30`: list files on the daemon's machine whose names start with
+    /// a prefix — segment enumeration for store-backed filter logs.
+    ListFiles {
+        /// The name prefix.
+        prefix: String,
+    },
 }
 
 /// A reply to a [`Request`].
@@ -338,15 +387,33 @@ pub enum Reply {
         /// The bytes (empty on failure).
         data: Vec<u8>,
     },
+    /// `29`: a process's current state, answering `QueryProc`.
+    ProcStatus {
+        /// Outcome of the query ([`RpcStatus::Srch`] if the daemon
+        /// does not know the process).
+        status: RpcStatus,
+        /// Same codes as [`Request::StateChange`]: 0 = terminated
+        /// normally, 1 = killed, 2 = stopped, 3 = running.
+        state: u32,
+    },
+    /// `31`: file names, answering `ListFiles`.
+    FileList {
+        /// Outcome of the request.
+        status: RpcStatus,
+        /// Matching names, sorted (empty on failure).
+        names: Vec<String>,
+    },
 }
 
 impl Reply {
     /// The reply's status code.
     pub fn status(&self) -> RpcStatus {
         match self {
-            Reply::Create { status, .. } | Reply::Ack { status } | Reply::File { status, .. } => {
-                *status
-            }
+            Reply::Create { status, .. }
+            | Reply::Ack { status }
+            | Reply::File { status, .. }
+            | Reply::ProcStatus { status, .. }
+            | Reply::FileList { status, .. } => *status,
         }
     }
 }
@@ -386,6 +453,10 @@ impl W {
         self.0.extend_from_slice(&v.to_le_bytes());
         self
     }
+    fn u64(&mut self, v: u64) -> &mut W {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
     fn str(&mut self, s: &str) -> &mut W {
         self.bytes(s.as_bytes())
     }
@@ -414,6 +485,16 @@ impl<'a> R<'a> {
             .ok_or_else(|| ProtoError::new("truncated u32"))?;
         self.pos += 4;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self
+            .buf
+            .get(self.pos..self.pos + 8)
+            .ok_or_else(|| ProtoError::new("truncated u64"))?;
+        self.pos += 8;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
     fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
         let len = self.u32()? as usize;
@@ -446,6 +527,9 @@ impl Request {
             Request::SendInput { .. } => msg_type::SEND_INPUT,
             Request::StateChange { .. } => msg_type::STATE_CHANGE,
             Request::IoData { .. } => msg_type::IO_DATA,
+            Request::Tagged { .. } => msg_type::TAGGED,
+            Request::QueryProc { .. } => msg_type::QUERY_PROC,
+            Request::ListFiles { .. } => msg_type::LIST_FILES,
         }
     }
 
@@ -538,6 +622,16 @@ impl Request {
                 w.u32(pid.0);
                 w.bytes(data);
             }
+            Request::Tagged { req_id, inner } => {
+                w.u64(*req_id);
+                w.bytes(&inner.encode());
+            }
+            Request::QueryProc { pid } => {
+                w.u32(pid.0);
+            }
+            Request::ListFiles { prefix } => {
+                w.str(prefix);
+            }
         }
         w.finish()
     }
@@ -623,6 +717,19 @@ impl Request {
                 pid: Pid(r.u32()?),
                 data: r.bytes()?,
             },
+            msg_type::TAGGED => {
+                let req_id = r.u64()?;
+                let inner = Request::decode(&r.bytes()?)?;
+                if matches!(inner, Request::Tagged { .. }) {
+                    return Err(ProtoError::new("nested tagged request"));
+                }
+                Request::Tagged {
+                    req_id,
+                    inner: Box::new(inner),
+                }
+            }
+            msg_type::QUERY_PROC => Request::QueryProc { pid: Pid(r.u32()?) },
+            msg_type::LIST_FILES => Request::ListFiles { prefix: r.str()? },
             other => return Err(ProtoError::new(format!("unknown request type {other}"))),
         })
     }
@@ -635,6 +742,8 @@ impl Reply {
             Reply::Create { .. } => msg_type::CREATE_REPLY,
             Reply::Ack { .. } => msg_type::ACK,
             Reply::File { .. } => msg_type::FILE_REPLY,
+            Reply::ProcStatus { .. } => msg_type::PROC_STATUS,
+            Reply::FileList { .. } => msg_type::FILE_LIST,
         }
     }
 
@@ -652,6 +761,17 @@ impl Reply {
             Reply::File { status, data } => {
                 w.u32(status.code());
                 w.bytes(data);
+            }
+            Reply::ProcStatus { status, state } => {
+                w.u32(status.code());
+                w.u32(*state);
+            }
+            Reply::FileList { status, names } => {
+                w.u32(status.code());
+                w.u32(names.len() as u32);
+                for n in names {
+                    w.str(n);
+                }
             }
         }
         w.finish()
@@ -678,6 +798,22 @@ impl Reply {
                 status: RpcStatus::from(r.u32()?),
                 data: r.bytes()?,
             },
+            msg_type::PROC_STATUS => Reply::ProcStatus {
+                status: RpcStatus::from(r.u32()?),
+                state: r.u32()?,
+            },
+            msg_type::FILE_LIST => {
+                let status = RpcStatus::from(r.u32()?);
+                let n = r.u32()? as usize;
+                if n > 65536 {
+                    return Err(ProtoError::new("absurd file count"));
+                }
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    names.push(r.str()?);
+                }
+                Reply::FileList { status, names }
+            }
             other => return Err(ProtoError::new(format!("unknown reply type {other}"))),
         })
     }
@@ -793,6 +929,14 @@ mod tests {
                 pid: Pid(9),
                 data: b"output".to_vec(),
             },
+            Request::QueryProc { pid: Pid(2120) },
+            Request::ListFiles {
+                prefix: "/usr/tmp/f1-segments/".into(),
+            },
+            Request::Tagged {
+                req_id: 0xDEAD_BEEF_0000_0001,
+                inner: Box::new(Request::Start { pid: Pid(7) }),
+            },
         ];
         for req in reqs {
             let wire = req.encode();
@@ -817,8 +961,83 @@ mod tests {
             Reply::Ack {
                 status: RpcStatus::Other(77),
             },
+            Reply::ProcStatus {
+                status: RpcStatus::Ok,
+                state: 3,
+            },
+            Reply::ProcStatus {
+                status: RpcStatus::Srch,
+                state: 0,
+            },
+            Reply::FileList {
+                status: RpcStatus::Ok,
+                names: vec!["a-0.seg".into(), "a-1.seg".into()],
+            },
+            Reply::FileList {
+                status: RpcStatus::NoEnt,
+                names: vec![],
+            },
         ] {
             assert_eq!(Reply::decode(&rep.encode()).unwrap(), rep);
+        }
+    }
+
+    #[test]
+    fn tagged_requests_nest_and_reject_double_wrapping() {
+        // A Tagged wrapper round-trips any plain request and keeps
+        // the same id across re-encodes (the retry path depends on
+        // byte-identical retransmissions).
+        let inner = Request::CreateFilter {
+            filterfile: "/bin/filter".into(),
+            port: 4001,
+            logfile: "/usr/tmp/f1".into(),
+            descriptions: "descriptions".into(),
+            templates: "templates".into(),
+            shards: 1,
+            log_mode: LogSinkMode::Store,
+        };
+        let tagged = Request::Tagged {
+            req_id: 42,
+            inner: Box::new(inner.clone()),
+        };
+        let wire = tagged.encode();
+        assert_eq!(wire, tagged.encode(), "encoding is deterministic");
+        let ty = u32::from_le_bytes([wire[4], wire[5], wire[6], wire[7]]);
+        assert_eq!(ty, msg_type::TAGGED);
+        match Request::decode(&wire).unwrap() {
+            Request::Tagged { req_id, inner: got } => {
+                assert_eq!(req_id, 42);
+                assert_eq!(*got, inner);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // Tagged-inside-Tagged is malformed, not silently unwrapped.
+        let double = Request::Tagged {
+            req_id: 1,
+            inner: Box::new(tagged),
+        };
+        assert!(Request::decode(&double.encode())
+            .unwrap_err()
+            .to_string()
+            .contains("nested tagged"));
+    }
+
+    #[test]
+    fn retry_status_codes_round_trip_and_print() {
+        // The retry/dedup additions: wire codes 5 and 6 are now typed
+        // instead of falling into Other.
+        assert_eq!(RpcStatus::from(5), RpcStatus::Timeout);
+        assert_eq!(RpcStatus::from(6), RpcStatus::Unavailable);
+        assert_eq!(RpcStatus::Timeout.code(), 5);
+        assert_eq!(RpcStatus::Unavailable.code(), 6);
+        assert!(!RpcStatus::Timeout.is_ok());
+        assert!(!RpcStatus::Unavailable.is_ok());
+        assert_eq!(RpcStatus::Timeout.to_string(), "request timed out");
+        assert_eq!(RpcStatus::Unavailable.to_string(), "daemon unavailable");
+        // They survive a trip through a reply frame too.
+        for status in [RpcStatus::Timeout, RpcStatus::Unavailable] {
+            let rep = Reply::Ack { status };
+            assert_eq!(Reply::decode(&rep.encode()).unwrap().status(), status);
         }
     }
 

@@ -5,9 +5,12 @@
 
 use dpm_filter::register_filter_program;
 use dpm_meter::MeterFlags;
-use dpm_meterd::{notify, read_frame, rpc_call, start_meterdaemons, Reply, Request, RpcStatus};
+use dpm_meterd::{
+    notify, read_frame, rpc_call, rpc_call_retry, start_meterdaemons, Reply, Request, RpcStatus,
+    RPC_TIMEOUT_MS,
+};
 use dpm_simnet::NetConfig;
-use dpm_simos::{BindTo, Cluster, Domain, Pid, Proc, SockType, SysResult, Uid};
+use dpm_simos::{Backoff, BindTo, Cluster, Domain, Pid, Proc, SockType, SysResult, Uid};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -314,6 +317,244 @@ fn send_input_reaches_redirected_stdin() {
         Ok(())
     });
     assert_eq!(*echoed.lock(), "typed line");
+    c.shutdown();
+}
+
+#[test]
+fn retried_tagged_requests_are_applied_once() {
+    let c = cluster();
+    let _ = with_controller(&c, |p| {
+        // A CreateFilter is the canonical non-idempotent request: run
+        // twice it would spawn two filters (and the second would fail
+        // to bind the port). Wrapped in the same request id, the
+        // second call must replay the first reply verbatim.
+        let req = Request::Tagged {
+            req_id: 0xFEED_0001,
+            inner: Box::new(Request::CreateFilter {
+                filterfile: "/bin/filter".into(),
+                port: 4000,
+                logfile: "/usr/tmp/log.f1".into(),
+                descriptions: "descriptions".into(),
+                templates: "templates".into(),
+                shards: 1,
+                log_mode: dpm_meterd::LogSinkMode::Text,
+            }),
+        };
+        let first = rpc_call(p, "blue", &req)?;
+        let Reply::Create {
+            status: RpcStatus::Ok,
+            ..
+        } = first
+        else {
+            panic!("filter create failed: {first:?}");
+        };
+        let second = rpc_call(p, "blue", &req)?;
+        assert_eq!(
+            second, first,
+            "duplicate id replays the cached reply instead of re-executing"
+        );
+        // A fresh id really executes — and fails, because the port is
+        // now taken by the filter the first call spawned.
+        let fresh = Request::Tagged {
+            req_id: 0xFEED_0002,
+            inner: match req {
+                Request::Tagged { inner, .. } => inner,
+                _ => unreachable!(),
+            },
+        };
+        let third = rpc_call(p, "blue", &fresh)?;
+        assert_ne!(third, first, "a new id is a new execution");
+        Ok(())
+    });
+    c.shutdown();
+}
+
+#[test]
+fn query_proc_reports_lifecycle_states() {
+    let c = cluster();
+    c.register_program("spinner", |p, _| loop {
+        p.compute_ms(1)?;
+    });
+    c.install_program_file("red", "/bin/spinner", "spinner");
+    let red = c.machine("red").unwrap();
+    let red2 = red.clone();
+    let _ = with_controller(&c, move |p| {
+        start_filter(p)?;
+        let Reply::Create {
+            pid,
+            status: RpcStatus::Ok,
+        } = rpc_call(
+            p,
+            "red",
+            &create_req("/bin/spinner", vec![], MeterFlags::NONE, false),
+        )?
+        else {
+            panic!("create failed")
+        };
+        // Suspended-before-start and running both report "running".
+        let rep = rpc_call(p, "red", &Request::QueryProc { pid })?;
+        assert!(
+            matches!(
+                rep,
+                Reply::ProcStatus {
+                    status: RpcStatus::Ok,
+                    state: 3
+                }
+            ),
+            "{rep:?}"
+        );
+        assert!(rpc_call(p, "red", &Request::Start { pid })?
+            .status()
+            .is_ok());
+        while red2.proc_cpu_us(pid).unwrap_or(0) == 0 {
+            std::thread::yield_now();
+        }
+        assert!(rpc_call(p, "red", &Request::Stop { pid })?.status().is_ok());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let rep = rpc_call(p, "red", &Request::QueryProc { pid })?;
+        assert!(
+            matches!(
+                rep,
+                Reply::ProcStatus {
+                    status: RpcStatus::Ok,
+                    state: 2
+                }
+            ),
+            "stopped: {rep:?}"
+        );
+        let rep = rpc_call(p, "red", &Request::QueryProc { pid: Pid(424242) })?;
+        assert!(
+            matches!(
+                rep,
+                Reply::ProcStatus {
+                    status: RpcStatus::Srch,
+                    ..
+                }
+            ),
+            "{rep:?}"
+        );
+        assert!(rpc_call(p, "red", &Request::Kill { pid })?.status().is_ok());
+        red2.wait_exit(pid);
+        Ok(())
+    });
+    c.shutdown();
+}
+
+#[test]
+fn list_files_enumerates_by_prefix() {
+    let c = cluster();
+    let _ = with_controller(&c, |p| {
+        for name in [
+            "/usr/tmp/log-segments/s0-0.seg",
+            "/usr/tmp/log-segments/s0-1.seg",
+        ] {
+            assert!(rpc_call(
+                p,
+                "red",
+                &Request::WriteFile {
+                    path: name.into(),
+                    data: b"x".to_vec(),
+                },
+            )?
+            .status()
+            .is_ok());
+        }
+        let rep = rpc_call(
+            p,
+            "red",
+            &Request::ListFiles {
+                prefix: "/usr/tmp/log-segments/".into(),
+            },
+        )?;
+        match rep {
+            Reply::FileList {
+                status: RpcStatus::Ok,
+                names,
+            } => assert_eq!(
+                names,
+                vec![
+                    "/usr/tmp/log-segments/s0-0.seg".to_owned(),
+                    "/usr/tmp/log-segments/s0-1.seg".to_owned(),
+                ]
+            ),
+            other => panic!("list failed: {other:?}"),
+        }
+        let rep = rpc_call(
+            p,
+            "red",
+            &Request::ListFiles {
+                prefix: "/nowhere/".into(),
+            },
+        )?;
+        assert_eq!(
+            rep,
+            Reply::FileList {
+                status: RpcStatus::Ok,
+                names: vec![]
+            }
+        );
+        Ok(())
+    });
+    c.shutdown();
+}
+
+#[test]
+fn rpc_call_retry_succeeds_and_reports_unavailable() {
+    // A cluster with NO daemons: the hardened call must come back with
+    // Unavailable in-band instead of erroring or spinning forever.
+    let c = Cluster::builder()
+        .net(NetConfig::ideal())
+        .seed(12)
+        .machine("yellow")
+        .machine("red")
+        .build();
+    let yellow = c.machine("yellow").unwrap();
+    let pid = yellow.spawn_fn("controller", Uid(7), None, true, |p| {
+        let rep = rpc_call_retry(
+            &p,
+            "red",
+            &Request::GetFile {
+                path: "/etc/meterd".into(),
+            },
+            RPC_TIMEOUT_MS,
+            Backoff::new(3, 2, 8),
+        )?;
+        assert_eq!(rep.status(), RpcStatus::Unavailable, "{rep:?}");
+        Ok(())
+    });
+    yellow.wait_exit(pid);
+    c.shutdown();
+
+    // And against a live daemon it behaves exactly like rpc_call.
+    let c = cluster();
+    let _ = with_controller(&c, |p| {
+        let rep = rpc_call_retry(
+            p,
+            "red",
+            &Request::WriteFile {
+                path: "/tmp/via-retry".into(),
+                data: b"ok".to_vec(),
+            },
+            RPC_TIMEOUT_MS,
+            Backoff::standard(),
+        )?;
+        assert!(rep.status().is_ok(), "{rep:?}");
+        let rep = rpc_call(
+            p,
+            "red",
+            &Request::GetFile {
+                path: "/tmp/via-retry".into(),
+            },
+        )?;
+        match rep {
+            Reply::File {
+                status: RpcStatus::Ok,
+                data,
+            } => assert_eq!(data, b"ok"),
+            other => panic!("{other:?}"),
+        }
+        Ok(())
+    });
     c.shutdown();
 }
 

@@ -215,6 +215,58 @@ mod tests {
     }
 
     #[test]
+    fn reordering_adds_an_extra_latency_sample() {
+        // A reordered datagram is delivered with two latency samples
+        // stacked; with heavy reorder probability some fates must land
+        // beyond the single-sample maximum, and none beyond twice it.
+        let cfg = NetConfig::lossy();
+        let mut m = cfg.latency_model(5);
+        let mut beyond_max = 0usize;
+        for _ in 0..2000 {
+            if let Fate::Deliver { latency_us } = m.datagram_fate(A, B) {
+                assert!(latency_us >= cfg.latency_min_us);
+                assert!(latency_us <= 2 * cfg.latency_max_us);
+                if latency_us > cfg.latency_max_us {
+                    beyond_max += 1;
+                }
+            }
+        }
+        // 30 % reorder over ~1600 delivered: expect hundreds.
+        assert!(beyond_max > 100, "only {beyond_max} reordered fates");
+    }
+
+    #[test]
+    fn no_reordering_when_probability_is_zero() {
+        let cfg = NetConfig {
+            datagram_reorder: 0.0,
+            ..NetConfig::lossy()
+        };
+        let mut m = cfg.latency_model(6);
+        for _ in 0..2000 {
+            if let Fate::Deliver { latency_us } = m.datagram_fate(A, B) {
+                assert!(
+                    latency_us <= cfg.latency_max_us,
+                    "latency {latency_us} exceeds single-sample max"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn loss_and_reorder_fates_replay_under_one_seed() {
+        // The loss and reorder draws both come from the seeded rng, so
+        // the full fate sequence — not just the latency samples — must
+        // replay.
+        let cfg = NetConfig::lossy();
+        let mut m1 = cfg.latency_model(77);
+        let mut m2 = cfg.latency_model(77);
+        let f1: Vec<_> = (0..500).map(|_| m1.datagram_fate(A, B)).collect();
+        let f2: Vec<_> = (0..500).map(|_| m2.datagram_fate(A, B)).collect();
+        assert_eq!(f1, f2);
+        assert!(f1.iter().any(|f| matches!(f, Fate::Lost)));
+    }
+
+    #[test]
     fn same_seed_same_behaviour() {
         let cfg = NetConfig::lan();
         let mut m1 = cfg.latency_model(42);

@@ -1,0 +1,133 @@
+//! Deterministic fault-injection hook points.
+//!
+//! The random [`LatencyModel`](crate::LatencyModel) loses and reorders
+//! datagrams *statistically*; chaos testing needs the same failures
+//! under *test control*. A [`FaultInjector`] is consulted by the
+//! delivery paths of the simulated kernel before the random model gets
+//! a say, so a scripted fault plan (see the `dpm-chaos` crate) can
+//! drop, duplicate or delay a specific message, refuse a connection
+//! during a partition window, or force a meter flush to be
+//! retransmitted.
+//!
+//! Every hook receives the virtual send time (`now_us`, true time in
+//! microseconds) so injectors can gate decisions on virtual-time
+//! windows rather than wall-clock state — the same seed then replays
+//! the exact same failure schedule.
+//!
+//! The default implementation of every hook is a no-op ([`NoFaults`]
+//! implements the trait with nothing overridden), so a cluster built
+//! without an injector behaves exactly as before.
+
+use crate::registry::HostId;
+
+/// What a fault injector decided to do with one cross-machine datagram.
+///
+/// `Pass` hands the decision back to the random
+/// [`LatencyModel`](crate::LatencyModel); the other variants override
+/// it entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DgramFault {
+    /// No injected fault: fall through to the latency model.
+    Pass,
+    /// Drop the datagram silently.
+    Drop,
+    /// Deliver the datagram twice — once normally, once after the
+    /// extra delay — modelling a retransmission racing its original.
+    Duplicate {
+        /// Extra delay of the duplicate copy, in microseconds.
+        extra_us: u64,
+    },
+    /// Deliver once, after the normal latency plus this extra delay.
+    Delay {
+        /// Extra delay, in microseconds of true time.
+        extra_us: u64,
+    },
+}
+
+/// Hook points consulted by the simulated kernel's delivery paths.
+///
+/// Implementations must be deterministic functions of their arguments
+/// and of internal counters only — never of wall-clock time — so a
+/// fault schedule replays identically under the same seed. All hooks
+/// default to "no fault"; override only what a plan needs.
+pub trait FaultInjector: Send + Sync {
+    /// Decides the fate of one cross-machine datagram sent from `src`
+    /// to `dst` at virtual time `now_us`. Returning
+    /// [`DgramFault::Pass`] defers to the random latency model.
+    fn dgram_fault(&self, _src: HostId, _dst: HostId, _now_us: u64) -> DgramFault {
+        DgramFault::Pass
+    }
+
+    /// Whether a *new* cross-machine connection from `src` to `dst` at
+    /// virtual time `now_us` should be refused (connection refused, as
+    /// during a network partition). Established streams are not torn
+    /// down; see [`FaultInjector::stream_extra_us`].
+    fn connect_blocked(&self, _src: HostId, _dst: HostId, _now_us: u64) -> bool {
+        false
+    }
+
+    /// Extra delivery delay, in microseconds, applied to a stream
+    /// segment sent from `src` to `dst` at virtual time `now_us`.
+    /// Streams stay reliable — a partition delays their bytes until
+    /// the heal time (TCP retransmits after the partition heals), it
+    /// does not lose them.
+    fn stream_extra_us(&self, _src: HostId, _dst: HostId, _now_us: u64) -> u64 {
+        0
+    }
+
+    /// Whether the meter-message flush from `src` to `dst` at virtual
+    /// time `now_us` should be delivered *twice*, modelling
+    /// at-least-once retransmission of buffered meter messages. The
+    /// filter's sequence-number dedup must absorb the duplicate.
+    fn duplicate_meter_flush(&self, _src: HostId, _dst: HostId, _now_us: u64) -> bool {
+        false
+    }
+}
+
+/// The do-nothing injector: every hook keeps its default no-op
+/// behaviour. This is what a cluster uses when no fault plan is
+/// installed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: HostId = HostId(0);
+    const B: HostId = HostId(1);
+
+    #[test]
+    fn no_faults_is_transparent() {
+        let inj = NoFaults;
+        assert_eq!(inj.dgram_fault(A, B, 0), DgramFault::Pass);
+        assert!(!inj.connect_blocked(A, B, 0));
+        assert_eq!(inj.stream_extra_us(A, B, 0), 0);
+        assert!(!inj.duplicate_meter_flush(A, B, 0));
+    }
+
+    #[test]
+    fn injectors_are_object_safe() {
+        let inj: Box<dyn FaultInjector> = Box::new(NoFaults);
+        assert_eq!(inj.dgram_fault(A, B, 99), DgramFault::Pass);
+    }
+
+    /// A scripted injector sees the virtual send time, so partitions
+    /// can be expressed as pure time windows.
+    #[test]
+    fn time_windowed_injector() {
+        struct Window;
+        impl FaultInjector for Window {
+            fn connect_blocked(&self, _s: HostId, _d: HostId, now_us: u64) -> bool {
+                (1_000..2_000).contains(&now_us)
+            }
+        }
+        let w = Window;
+        assert!(!w.connect_blocked(A, B, 999));
+        assert!(w.connect_blocked(A, B, 1_000));
+        assert!(w.connect_blocked(A, B, 1_999));
+        assert!(!w.connect_blocked(A, B, 2_000));
+    }
+}

@@ -43,10 +43,12 @@
 
 pub mod clock;
 pub mod config;
+pub mod fault;
 pub mod registry;
 pub mod stats;
 
 pub use clock::{ClockSpec, GlobalTime, MachineClock};
 pub use config::{Fate, LatencyModel, NetConfig};
+pub use fault::{DgramFault, FaultInjector, NoFaults};
 pub use registry::{HostId, HostRegistry, UnknownHostError};
 pub use stats::WireStats;

@@ -1,0 +1,216 @@
+//! Bounded exponential backoff over virtual time.
+//!
+//! Every "wait for the other side" loop in the monitor — workload
+//! clients connecting before their server listens, the meterdaemon
+//! connecting to a just-spawned filter, a controller retrying an RPC
+//! against a restarted daemon — shares this policy instead of a fixed
+//! spin. Delays grow exponentially from `base_ms` to `cap_ms` and the
+//! attempt count is bounded, so a dead peer is reported instead of
+//! spun on forever. All delays are *virtual* time ([`Proc::sleep_ms`])
+//! plus a tiny real-time yield so the peer's real thread can run; the
+//! schedule is a pure function of the policy parameters, keeping
+//! fault-injection runs deterministic.
+
+use crate::error::{SysError, SysResult};
+use crate::socket::{Domain, SockType};
+use crate::syscall::{Fd, Proc};
+
+/// A bounded exponential-backoff schedule.
+///
+/// # Example
+///
+/// ```
+/// use dpm_simos::Backoff;
+///
+/// let mut b = Backoff::new(4, 10, 40);
+/// let delays: Vec<_> = std::iter::from_fn(|| b.next_delay_ms()).collect();
+/// assert_eq!(delays, vec![10, 20, 40, 40]); // doubling, capped
+/// assert_eq!(b.attempts(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    max_tries: u32,
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A schedule of at most `max_tries` waits, starting at `base_ms`
+    /// and doubling up to `cap_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_ms` is zero (a zero delay never advances
+    /// virtual time, so the loop could not make progress).
+    pub fn new(max_tries: u32, base_ms: u64, cap_ms: u64) -> Backoff {
+        assert!(base_ms > 0, "backoff base must advance virtual time");
+        Backoff {
+            max_tries,
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            attempt: 0,
+        }
+    }
+
+    /// The default policy for "peer is starting up" waits: 40 tries,
+    /// 5 ms doubling to 160 ms (≈ 5.5 s of virtual time in total —
+    /// comfortably beyond any startup race, far short of forever).
+    pub fn standard() -> Backoff {
+        Backoff::new(40, 5, 160)
+    }
+
+    /// Waits already taken.
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The next delay in milliseconds, or `None` when the schedule is
+    /// exhausted. Advances the attempt counter.
+    pub fn next_delay_ms(&mut self) -> Option<u64> {
+        if self.attempt >= self.max_tries {
+            return None;
+        }
+        let exp = self.attempt.min(63);
+        let delay = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
+            .min(self.cap_ms);
+        self.attempt += 1;
+        Some(delay)
+    }
+
+    /// Sleeps through the next delay: virtual time for the simulated
+    /// process plus a tiny real-time yield so the peer's real thread
+    /// gets CPU. Returns `false` when the schedule is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SysError::Killed`] if the process is killed while
+    /// sleeping.
+    pub fn wait(&mut self, p: &Proc) -> SysResult<bool> {
+        match self.next_delay_ms() {
+            None => Ok(false),
+            Some(ms) => {
+                p.sleep_ms(ms)?;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Connects a fresh stream socket to `(host, port)`, retrying refused
+/// connections on the given backoff schedule. This replaces the old
+/// fixed-interval connect spins in the workloads and the meterdaemon.
+///
+/// # Errors
+///
+/// [`SysError::Econnrefused`] once the schedule is exhausted; any
+/// other error immediately.
+pub fn connect_backoff(p: &Proc, host: &str, port: u16, mut policy: Backoff) -> SysResult<Fd> {
+    loop {
+        let s = p.socket(Domain::Inet, SockType::Stream)?;
+        match p.connect_host(s, host, port) {
+            Ok(()) => return Ok(s),
+            Err(SysError::Econnrefused) => {
+                p.close(s)?;
+                if !policy.wait(p)? {
+                    return Err(SysError::Econnrefused);
+                }
+            }
+            Err(e) => {
+                let _ = p.close(s);
+                return Err(e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::process::Uid;
+    use crate::syscall::BindTo;
+    use dpm_simnet::NetConfig;
+
+    #[test]
+    fn schedule_doubles_and_caps() {
+        let mut b = Backoff::new(6, 5, 40);
+        let delays: Vec<_> = std::iter::from_fn(|| b.next_delay_ms()).collect();
+        assert_eq!(delays, vec![5, 10, 20, 40, 40, 40]);
+        assert_eq!(b.attempts(), 6);
+        assert_eq!(b.next_delay_ms(), None);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let mut a = Backoff::standard();
+        let mut b = Backoff::standard();
+        let da: Vec<_> = std::iter::from_fn(|| a.next_delay_ms()).collect();
+        let db: Vec<_> = std::iter::from_fn(|| b.next_delay_ms()).collect();
+        assert_eq!(da, db);
+        assert!(!da.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff base")]
+    fn zero_base_panics() {
+        let _ = Backoff::new(3, 0, 10);
+    }
+
+    #[test]
+    fn connect_backoff_waits_for_a_late_listener() {
+        let c = Cluster::builder()
+            .net(NetConfig::ideal())
+            .machine("a")
+            .machine("b")
+            .build();
+        let server = c
+            .spawn_user("b", "late-server", Uid(1), |p| {
+                p.sleep_ms(50)?;
+                let s = p.socket(Domain::Inet, SockType::Stream)?;
+                p.bind(s, BindTo::Port(901))?;
+                p.listen(s, 1)?;
+                let (conn, _) = p.accept(s)?;
+                p.write(conn, b"ok")?;
+                Ok(())
+            })
+            .unwrap();
+        let client = c
+            .spawn_user("a", "client", Uid(1), |p| {
+                let s = connect_backoff(&p, "b", 901, Backoff::standard())?;
+                assert_eq!(p.read(s, 10)?, b"ok");
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(
+            c.machine("a").unwrap().wait_exit(client),
+            Some(dpm_meter::TermReason::Normal)
+        );
+        c.machine("b").unwrap().wait_exit(server);
+        c.shutdown();
+    }
+
+    #[test]
+    fn connect_backoff_gives_up_on_a_dead_port() {
+        let c = Cluster::builder()
+            .net(NetConfig::ideal())
+            .machine("a")
+            .machine("b")
+            .build();
+        let pid = c
+            .spawn_user("a", "client", Uid(1), |p| {
+                let err = connect_backoff(&p, "b", 902, Backoff::new(3, 2, 8));
+                assert_eq!(err.unwrap_err(), SysError::Econnrefused);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(
+            c.machine("a").unwrap().wait_exit(pid),
+            Some(dpm_meter::TermReason::Normal)
+        );
+        c.shutdown();
+    }
+}

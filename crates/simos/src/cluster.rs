@@ -10,7 +10,8 @@ use crate::machine::Machine;
 use crate::process::{Pid, Uid};
 use crate::syscall::Proc;
 use dpm_simnet::{
-    ClockSpec, Fate, GlobalTime, HostId, HostRegistry, LatencyModel, NetConfig, WireStats,
+    ClockSpec, DgramFault, Fate, FaultInjector, GlobalTime, HostId, HostRegistry, LatencyModel,
+    NetConfig, NoFaults, WireStats,
 };
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -101,6 +102,7 @@ pub type ProgramFn = Arc<dyn Fn(Proc, Vec<String>) -> SysResult<()> + Send + Syn
 pub struct ClusterBuilder {
     config: ClusterConfig,
     machines: Vec<(String, Option<ClockSpec>)>,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl ClusterBuilder {
@@ -131,6 +133,16 @@ impl ClusterBuilder {
     pub fn meter_buffer(mut self, msgs: u32) -> ClusterBuilder {
         assert!(msgs > 0, "meter buffer must hold at least one message");
         self.config.meter_buffer_msgs = msgs;
+        self
+    }
+
+    /// Installs a fault injector consulted by the delivery paths
+    /// (datagram fate, stream delay, connection admission, meter-flush
+    /// duplication). Without one the cluster uses
+    /// [`NoFaults`] and behaves exactly as an
+    /// un-instrumented build.
+    pub fn fault_injector(mut self, injector: Arc<dyn FaultInjector>) -> ClusterBuilder {
+        self.injector = Some(injector);
         self
     }
 
@@ -171,6 +183,7 @@ impl ClusterBuilder {
             registry: RwLock::new(HostRegistry::new()),
             next_pid: AtomicU32::new(2117),
             next_internal: AtomicU64::new(1),
+            injector: self.injector.unwrap_or_else(|| Arc::new(NoFaults)),
             config: self.config,
         });
         let mut machines = Vec::new();
@@ -206,6 +219,7 @@ pub struct Cluster {
     registry: RwLock<HostRegistry>,
     next_pid: AtomicU32,
     next_internal: AtomicU64,
+    pub(crate) injector: Arc<dyn FaultInjector>,
     pub(crate) config: ClusterConfig,
 }
 
@@ -320,6 +334,50 @@ impl Cluster {
     /// Decides a datagram's fate between two hosts.
     pub(crate) fn datagram_fate(&self, src: HostId, dst: HostId) -> Fate {
         self.latency.lock().datagram_fate(src, dst)
+    }
+
+    /// The installed fault injector ([`NoFaults`] when none was set).
+    pub fn fault_injector(&self) -> &Arc<dyn FaultInjector> {
+        &self.injector
+    }
+
+    /// Resolves one datagram send into a list of delivery latencies:
+    /// empty means the datagram is lost, two entries mean it was
+    /// duplicated. The fault injector is consulted first; only a
+    /// [`DgramFault::Pass`] falls through to the random latency model.
+    pub(crate) fn datagram_deliveries(&self, src: HostId, dst: HostId, now_us: u64) -> Vec<u64> {
+        match self.injector.dgram_fault(src, dst, now_us) {
+            DgramFault::Drop => Vec::new(),
+            DgramFault::Duplicate { extra_us } => {
+                let latency = self.sample_latency(src, dst);
+                // The duplicate trails the original by at least 1 µs so
+                // the copies are distinguishable in delivery order.
+                vec![latency, latency + extra_us.max(1)]
+            }
+            DgramFault::Delay { extra_us } => vec![self.sample_latency(src, dst) + extra_us],
+            DgramFault::Pass => match self.datagram_fate(src, dst) {
+                Fate::Deliver { latency_us } => vec![latency_us],
+                Fate::Lost => Vec::new(),
+            },
+        }
+    }
+
+    /// Extra stream-segment delay injected between two hosts (a healed
+    /// partition releases delayed bytes; streams stay reliable).
+    pub(crate) fn stream_extra(&self, src: HostId, dst: HostId, now_us: u64) -> u64 {
+        self.injector.stream_extra_us(src, dst, now_us)
+    }
+
+    /// Whether a new cross-machine connection is refused by an injected
+    /// partition.
+    pub(crate) fn connect_blocked(&self, src: HostId, dst: HostId, now_us: u64) -> bool {
+        self.injector.connect_blocked(src, dst, now_us)
+    }
+
+    /// Whether a meter flush should be delivered twice (at-least-once
+    /// retransmission).
+    pub(crate) fn dup_meter_flush(&self, src: HostId, dst: HostId, now_us: u64) -> bool {
+        self.injector.duplicate_meter_flush(src, dst, now_us)
     }
 
     /// Kills every process on every machine and joins their threads.

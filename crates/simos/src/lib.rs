@@ -58,6 +58,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cluster;
 pub mod error;
 pub mod fs;
@@ -67,6 +68,7 @@ pub mod process;
 pub mod socket;
 pub mod syscall;
 
+pub use backoff::{connect_backoff, Backoff};
 pub use cluster::{Cluster, ClusterBuilder, ClusterConfig, CpuCosts, ProgramFn};
 pub use error::{SysError, SysResult};
 pub use fs::SimFs;

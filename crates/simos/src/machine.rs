@@ -474,6 +474,23 @@ impl Machine {
         self.kern.lock().procs.get(&pid).map(|p| p.cpu_us)
     }
 
+    /// Pids of every process whose program name equals `name`, sorted.
+    /// Includes zombies; check [`Machine::proc_state`] for liveness.
+    /// Lets a harness find a well-known process (say, the machine's
+    /// meterdaemon) without scanning a pid window.
+    pub fn procs_named(&self, name: &str) -> Vec<Pid> {
+        let mut pids: Vec<Pid> = self
+            .kern
+            .lock()
+            .procs
+            .values()
+            .filter(|p| p.name == name)
+            .map(|p| p.pid)
+            .collect();
+        pids.sort_by_key(|p| p.0);
+        pids
+    }
+
     /// Blocks until the process terminates, returning how. `None` if
     /// the pid is unknown.
     pub fn wait_exit(&self, pid: Pid) -> Option<TermReason> {
@@ -784,10 +801,23 @@ impl Machine {
     }
 
     /// Delivers flushed meter messages over the meter connection.
+    ///
+    /// When the fault injector asks for at-least-once retransmission,
+    /// the whole flush batch is delivered a second time after an extra
+    /// latency sample; the filter's sequence-number dedup must absorb
+    /// the duplicate copy.
     pub(crate) fn deliver_meter(&self, cluster: &Arc<Cluster>, plan: FlushPlan) {
         cluster.stats.record_meter_frame(plan.bytes.len());
         if let Some(m) = cluster.machine_by_id(plan.peer.host) {
-            m.deliver_segment(plan.peer.sock, plan.bytes, plan.visible_at_us);
+            let dup = cluster.dup_meter_flush(self.id(), plan.peer.host, plan.visible_at_us);
+            if dup {
+                let extra = cluster.sample_latency(self.id(), plan.peer.host).max(1);
+                let copy = plan.bytes.clone();
+                m.deliver_segment(plan.peer.sock, plan.bytes, plan.visible_at_us);
+                m.deliver_segment(plan.peer.sock, copy, plan.visible_at_us + extra);
+            } else {
+                m.deliver_segment(plan.peer.sock, plan.bytes, plan.visible_at_us);
+            }
         }
     }
 

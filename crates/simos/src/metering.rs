@@ -60,10 +60,15 @@ pub(crate) fn emit(
     p.local_us += cost;
     let local = p.local_us;
     machine.clock().global().advance_to_us(local);
+    // Stamp the per-process sequence (the header word the paper leaves
+    // unused); the filter uses it to discard duplicates delivered by
+    // at-least-once retransmission. Sequences start at 1.
+    p.meter_seq = p.meter_seq.wrapping_add(1).max(1);
     let header = MeterHeader {
         size: 0,
         machine: machine.id().0 as u16,
         cpu_time: machine.clock().at_ms(local),
+        seq: p.meter_seq,
         proc_time: p.proc_time_ms(),
         trace_type: body.trace_type(),
     };

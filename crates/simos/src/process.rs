@@ -145,6 +145,10 @@ pub struct ProcEntry {
     pub meter_buf: Vec<u8>,
     /// Number of messages currently in `meter_buf`.
     pub meter_buf_count: u32,
+    /// Per-process meter sequence counter; the last stamped
+    /// [`MeterHeader::seq`](dpm_meter::MeterHeader::seq). Sequences
+    /// start at 1, so `0` here means nothing emitted yet.
+    pub meter_seq: u32,
 }
 
 impl ProcEntry {
@@ -173,6 +177,7 @@ impl ProcEntry {
             meter_flags: MeterFlags::NONE,
             meter_buf: Vec::new(),
             meter_buf_count: 0,
+            meter_seq: 0,
         }
     }
 

@@ -22,7 +22,7 @@ use dpm_meter::{
     MeterAccept, MeterBody, MeterConnect, MeterDestSock, MeterDup, MeterFlags, MeterFork,
     MeterRecvCall, MeterRecvMsg, MeterSendMsg, MeterSockCrt, SockName, TermReason,
 };
-use dpm_simnet::{Fate, HostId};
+use dpm_simnet::HostId;
 use std::sync::Arc;
 
 /// A file descriptor.
@@ -446,6 +446,18 @@ impl Proc {
 
         // Phase 2: park a connection request at the listener.
         let dst_machine = self.route(&cluster, name)?;
+        if cluster.connect_blocked(my_host, dst_machine.id(), t_send) {
+            // An injected partition refuses new connections outright;
+            // the caller sees the same error as a dead listener and is
+            // expected to retry after the heal.
+            let mut k = self.machine.kern.lock();
+            if let Ok(sock) = k.sock_mut(sid) {
+                if let SockKind::Stream { state, .. } = &mut sock.kind {
+                    *state = StreamState::Idle;
+                }
+            }
+            return Err(SysError::Econnrefused);
+        }
         let latency = cluster.sample_latency(my_host, dst_machine.id());
         let parked = dst_machine.push_pending(
             name,
@@ -803,8 +815,14 @@ impl Proc {
                     StreamState::Connected { peer, .. } => {
                         let peer = *peer;
                         let latency = cluster.sample_latency(my_host, peer.host);
-                        let t = k.proc_ref(self.pid)?.local_us + latency;
-                        Out::Stream { peer, visible: t }
+                        let t_send = k.proc_ref(self.pid)?.local_us;
+                        // A partition delays stream bytes until its heal
+                        // time; the stream stays reliable and ordered.
+                        let extra = cluster.stream_extra(my_host, peer.host, t_send);
+                        Out::Stream {
+                            peer,
+                            visible: t_send + latency + extra,
+                        }
                     }
                     StreamState::PeerClosed => return Err(SysError::Epipe),
                     _ => return Err(SysError::Enotconn),
@@ -919,37 +937,39 @@ impl Proc {
             k.socks.get(&sid).and_then(|s| s.name.clone())
         };
         cluster.stats.record_frame(data.len());
-        match cluster.datagram_fate(self.machine.id(), dst_machine.id()) {
-            Fate::Lost => {
-                cluster.stats.record_loss();
-                Ok(()) // the sender cannot tell (§3.1)
-            }
-            Fate::Deliver { latency_us } => {
-                let dst_sid = {
-                    let k = dst_machine.kern.lock();
-                    match dest {
-                        SockName::Inet { port, .. } => k.inet_binds.get(port).copied(),
-                        SockName::UnixPath(p) => k.unix_binds.get(p).copied(),
-                        SockName::Internal(_) => None,
-                    }
-                };
-                if let Some(dst_sid) = dst_sid {
-                    dst_machine.deliver_dgram(
-                        dst_sid,
-                        Dgram {
-                            data: data.to_vec(),
-                            src: src_name,
-                            visible_at_us: t_send + latency_us,
-                        },
-                    );
-                } else {
-                    // No socket bound at the destination: the datagram
-                    // disappears, exactly like UDP to a dead port.
-                    cluster.stats.record_loss();
-                }
-                Ok(())
-            }
+        // The fault injector resolves the send into zero (lost), one,
+        // or two (duplicated) deliveries; absent an injected fault the
+        // random loss/latency model decides as before.
+        let deliveries = cluster.datagram_deliveries(self.machine.id(), dst_machine.id(), t_send);
+        if deliveries.is_empty() {
+            cluster.stats.record_loss();
+            return Ok(()); // the sender cannot tell (§3.1)
         }
+        let dst_sid = {
+            let k = dst_machine.kern.lock();
+            match dest {
+                SockName::Inet { port, .. } => k.inet_binds.get(port).copied(),
+                SockName::UnixPath(p) => k.unix_binds.get(p).copied(),
+                SockName::Internal(_) => None,
+            }
+        };
+        if let Some(dst_sid) = dst_sid {
+            for latency_us in deliveries {
+                dst_machine.deliver_dgram(
+                    dst_sid,
+                    Dgram {
+                        data: data.to_vec(),
+                        src: src_name.clone(),
+                        visible_at_us: t_send + latency_us,
+                    },
+                );
+            }
+        } else {
+            // No socket bound at the destination: the datagram
+            // disappears, exactly like UDP to a dead port.
+            cluster.stats.record_loss();
+        }
+        Ok(())
     }
 
     /// `read(2)`/`recv(2)`: reads bytes from a socket or the console,

@@ -1,35 +1,21 @@
 //! Small helpers shared by the workload programs.
 
-use dpm_simos::{Domain, Fd, Proc, SockType, SysError, SysResult};
+use dpm_simos::{connect_backoff, Backoff, Fd, Proc, SysResult};
 
 /// Connects a fresh stream socket to `(host, port)`, retrying while
 /// the server side is still coming up — the standard dance for a
 /// computation whose processes all start at once (`startjob` starts
 /// every process; nothing orders server `listen` before client
-/// `connect`).
+/// `connect`). Built on the shared bounded-backoff policy
+/// ([`dpm_simos::Backoff`]) rather than a fixed-interval spin: delays
+/// double from 5 ms up to a cap, so a late server is found quickly and
+/// a dead one is reported after at most `tries` attempts.
 ///
 /// # Errors
 ///
 /// `ECONNREFUSED` after `tries` attempts; other errors immediately.
 pub fn connect_retry(p: &Proc, host: &str, port: u16, tries: u32) -> SysResult<Fd> {
-    let mut attempt = 0;
-    loop {
-        let s = p.socket(Domain::Inet, SockType::Stream)?;
-        match p.connect_host(s, host, port) {
-            Ok(()) => return Ok(s),
-            Err(SysError::Econnrefused) if attempt < tries => {
-                p.close(s)?;
-                attempt += 1;
-                p.sleep_ms(10)?;
-                // Also wait in real time: the peer is a real thread.
-                std::thread::sleep(std::time::Duration::from_millis(1));
-            }
-            Err(e) => {
-                let _ = p.close(s);
-                return Err(e);
-            }
-        }
-    }
+    connect_backoff(p, host, port, Backoff::new(tries, 5, 160))
 }
 
 /// Receives on a socket with a virtual-time deadline: polls
@@ -75,7 +61,7 @@ pub fn write_line(p: &Proc, fd: Fd, line: &str) -> SysResult<()> {
 mod tests {
     use super::*;
     use dpm_simnet::NetConfig;
-    use dpm_simos::{BindTo, Cluster, Uid};
+    use dpm_simos::{BindTo, Cluster, Domain, SockType, Uid};
 
     #[test]
     fn connect_retry_waits_for_the_listener() {

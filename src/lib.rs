@@ -30,6 +30,7 @@ pub use dpm_core::*;
 /// The individual subsystem crates, for direct access.
 pub mod crates {
     pub use dpm_analysis as analysis;
+    pub use dpm_chaos as chaos;
     pub use dpm_controller as controller;
     pub use dpm_filter as filter;
     pub use dpm_logstore as logstore;

@@ -2,26 +2,16 @@
 //! own pieces die.
 
 use dpm::crates::meterd::METERD_PROGRAM;
-use dpm::{Simulation, Uid};
+use dpm::Simulation;
 
 /// Find and kill the meterdaemon on a machine (as root would).
 fn kill_daemon(sim: &Simulation, machine: &str) {
     let m = sim.cluster().machine(machine).expect("machine");
-    // The daemon was the first root process spawned on each machine;
-    // its name is the program name.
-    // Scan a pid window around the initial allocations.
-    for pid in 2117..2200 {
-        let pid = dpm::Pid(pid);
-        if let Some(state) = m.proc_state(pid) {
-            if !state.is_dead() {
-                // Only the daemon runs as root here.
-                if m.proc_uid(pid) == Some(Uid::ROOT) {
-                    let _ = m.signal(None, pid, dpm::crates::simos::Sig::Kill);
-                }
-            }
+    for pid in m.procs_named(METERD_PROGRAM) {
+        if m.proc_state(pid).is_some_and(|s| !s.is_dead()) {
+            let _ = m.signal(None, pid, dpm::crates::simos::Sig::Kill);
         }
     }
-    let _ = METERD_PROGRAM;
 }
 
 #[test]

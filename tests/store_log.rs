@@ -33,6 +33,7 @@ fn msg(machine: u16, cpu: u32, body: MeterBody) -> Vec<u8> {
             size: 0,
             machine,
             cpu_time: cpu,
+            seq: 0,
             proc_time: 0,
             trace_type: body.trace_type(),
         },
