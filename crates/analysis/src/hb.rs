@@ -29,6 +29,10 @@ pub struct HappensBefore {
     proc_index: HashMap<ProcKey, usize>,
     /// Vector clock per event.
     vclock: Vec<Vec<u64>>,
+    /// Whether the edge set contained a cycle — evidence of a wrong
+    /// message matching (a receive paired with a send that it could
+    /// not have been caused by), never of a real execution.
+    has_cycle: bool,
 }
 
 impl HappensBefore {
@@ -93,13 +97,27 @@ impl HappensBefore {
                 }
             }
         }
-        debug_assert_eq!(seen, n, "happens-before graph has a cycle");
+        // A cycle cannot arise from a real execution (messages flow
+        // forward in real time); it means the pairing heuristics
+        // matched a receive to a send it was not caused by. Degrade
+        // gracefully: events on the cycle keep zeroed clocks (they
+        // never left Kahn's queue) and the flag tells callers the
+        // deduced order is incomplete.
+        let has_cycle = seen != n;
         HappensBefore {
             succs,
             lamport,
             proc_index,
             vclock,
+            has_cycle,
         }
+    }
+
+    /// Whether the graph contained a cycle (see [`HappensBefore`]
+    /// field docs); when true, clock-based queries are incomplete for
+    /// the events on the cycle.
+    pub fn has_cycle(&self) -> bool {
+        self.has_cycle
     }
 
     /// Whether event `a` happens before event `b` (strictly).
@@ -270,6 +288,37 @@ event=termproc machine=0 cpuTime=3 procTime=0 traceType=10 pid=1 pc=3 reason=0
         let (_t, _p, hb) = build(SKEWED);
         // 4 events, all ordered through the request/reply chain.
         assert_eq!(hb.ordered_fraction(), 1.0);
+    }
+
+    #[test]
+    fn wrong_matching_cycle_is_flagged_not_fatal() {
+        use crate::pairing::MatchedMessage;
+        use crate::trace::ProcKey;
+        // Two events pointing at each other — impossible in a real
+        // execution, so only a broken pairing produces it. The build
+        // must survive and report the cycle.
+        let log = "\
+event=send machine=0 cpuTime=1 procTime=0 traceType=1 pid=1 pc=1 sock=1 msgLength=9 destName=inet:1:5
+event=send machine=1 cpuTime=1 procTime=0 traceType=1 pid=2 pc=1 sock=1 msgLength=9 destName=inet:0:5
+";
+        let t = Trace::parse(log);
+        let a = ProcKey { machine: 0, pid: 1 };
+        let b = ProcKey { machine: 1, pid: 2 };
+        let mut p = Pairing::default();
+        for (s, r, f, to) in [(0, 1, a, b), (1, 0, b, a)] {
+            p.messages.push(MatchedMessage {
+                send_idx: s,
+                recv_idx: r,
+                from: f,
+                to,
+                bytes: 9,
+            });
+        }
+        let hb = HappensBefore::build(&t, &p);
+        assert!(hb.has_cycle());
+        // A sound build over the same trace reports no cycle.
+        let sound = HappensBefore::build(&t, &Pairing::analyze(&t));
+        assert!(!sound.has_cycle());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod hb;
 pub mod merge;
 pub mod pairing;
 pub mod parallelism;
+pub mod properties;
 pub mod stats;
 pub mod structure;
 pub mod timeline;
@@ -54,6 +55,7 @@ pub use hb::HappensBefore;
 pub use merge::{merge_logs, merge_traces};
 pub use pairing::{Connection, MatchedMessage, Pairing};
 pub use parallelism::{BusySlice, ParallelismReport};
+pub use properties::{ByzReport, CsInterval, LinkFaults, MutexReport};
 pub use stats::{CommStats, OffsetEstimate, ProcStats, SizeHistogram};
 pub use structure::{CommEdge, StructureReport};
 pub use timeline::{Bucket, Timeline};

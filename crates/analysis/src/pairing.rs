@@ -13,9 +13,13 @@
 //!    `accept` by the name-symmetry rule (the connector's `sockName`
 //!    is the acceptor's `peerName` and vice versa).
 //! 2. **Message matching** — pair `send` events with `receive` events:
-//!    by byte position for streams (reliable and ordered), FIFO per
-//!    (source, destination) name pair for datagrams (unmatched sends
-//!    are lost datagrams).
+//!    by byte position for streams (reliable and ordered), and by
+//!    exact payload length per (source, destination) name pair for
+//!    datagrams — a datagram is delivered whole, so a receive of `k`
+//!    bytes can only have been caused by a send of `k` bytes on that
+//!    channel. Unmatched sends are lost datagrams; unmatched receives
+//!    are duplicated deliveries (or deliveries whose send escaped the
+//!    meter).
 
 use crate::trace::{Event, EventKind, ProcKey, Trace};
 use std::collections::HashMap;
@@ -65,17 +69,23 @@ pub struct Pairing {
     /// datagrams lost in the network, or bytes unread at the end of
     /// the trace.
     pub unmatched_sends: Vec<usize>,
+    /// Trace indices of datagram receive events never matched to a
+    /// send — duplicated deliveries, or traffic from unmetered
+    /// senders. (Stream receives are byte-matched and never appear
+    /// here.)
+    pub unmatched_recvs: Vec<usize>,
 }
 
 impl Pairing {
     /// Runs connection pairing and message matching over a trace.
     pub fn analyze(trace: &Trace) -> Pairing {
         let connections = pair_connections(trace);
-        let (messages, unmatched_sends) = match_messages(trace, &connections);
+        let (messages, unmatched_sends, unmatched_recvs) = match_messages(trace, &connections);
         Pairing {
             connections,
             messages,
             unmatched_sends,
+            unmatched_recvs,
         }
     }
 }
@@ -149,7 +159,10 @@ struct RecvRec {
 /// interleave arbitrarily in the log — a receive is routinely logged
 /// before the send that caused it. Within one process, log order is
 /// reliable (one ordered stream), which is all FIFO matching needs.
-fn match_messages(trace: &Trace, connections: &[Connection]) -> (Vec<MatchedMessage>, Vec<usize>) {
+fn match_messages(
+    trace: &Trace,
+    connections: &[Connection],
+) -> (Vec<MatchedMessage>, Vec<usize>, Vec<usize>) {
     // Stream endpoints pair through the recovered connections.
     let mut peer_of: HashMap<(ProcKey, u32), (ProcKey, u32)> = HashMap::new();
     for c in connections {
@@ -246,10 +259,22 @@ fn match_messages(trace: &Trace, connections: &[Connection]) -> (Vec<MatchedMess
         }
     }
 
-    // Pass 2b: datagrams — each receive consumes exactly one send. A
-    // receive group (receiver, source-name) matches send groups whose
-    // sender lives on the source name's machine and whose destination
-    // names the receiver's machine.
+    // Pass 2b: datagrams — each receive consumes exactly one send,
+    // and a datagram is delivered whole: a receive of `k` bytes can
+    // only have been caused by a send of `k` bytes. A receive group
+    // (receiver, source-name) draws candidate sends from send groups
+    // whose sender lives on the source name's machine and whose
+    // destination names the receiver's machine; within the candidate
+    // pool each receive takes the earliest unmatched send of *exactly
+    // its length*. Length-aware matching is what keeps the deduced
+    // order sound under duplication: a duplicated delivery finds its
+    // one send already matched and is reported in `unmatched_recvs`
+    // instead of stealing a later (possibly future) send — as long as
+    // concurrently-in-flight payloads on one channel have distinct
+    // lengths, no receive is ever paired with a send that did not
+    // really precede it. (The beacon convention in
+    // `crate::properties` is built on exactly this guarantee.)
+    let mut unmatched_recvs: Vec<usize> = Vec::new();
     let mut recv_groups: Vec<(ProcKey, String)> = dgram_recvs.keys().cloned().collect();
     recv_groups.sort();
     for key in recv_groups {
@@ -264,24 +289,31 @@ fn match_messages(trace: &Trace, connections: &[Connection]) -> (Vec<MatchedMess
             .cloned()
             .collect();
         candidates.sort();
-        let recvs = dgram_recvs.get_mut(&key).expect("group present");
-        let mut ri = 0;
-        'cands: for cand in candidates {
-            let sends = dgram_sends.get_mut(&cand).expect("group present");
-            for s in sends.iter_mut() {
-                if matched.contains(&s.idx) {
-                    continue;
+        // One pooled sender-order list: within a process, trace order
+        // is send order; across candidate groups order is arbitrary
+        // anyway (distinct sockets), so trace order is as good as any.
+        let mut pool: Vec<&SendRec> = candidates
+            .iter()
+            .flat_map(|cand| dgram_sends[cand].iter())
+            .collect();
+        pool.sort_by_key(|s| s.idx);
+        let recvs = dgram_recvs.get(&key).expect("group present");
+        for r in recvs {
+            let hit = pool
+                .iter()
+                .find(|s| !matched.contains(&s.idx) && s.remaining == r.remaining);
+            match hit {
+                Some(s) => {
+                    matches.push(MatchedMessage {
+                        send_idx: s.idx,
+                        recv_idx: r.idx,
+                        from: s.from,
+                        to: r.to,
+                        bytes: r.remaining,
+                    });
+                    matched.insert(s.idx);
                 }
-                let Some(r) = recvs.get(ri) else { break 'cands };
-                matches.push(MatchedMessage {
-                    send_idx: s.idx,
-                    recv_idx: r.idx,
-                    from: s.from,
-                    to: r.to,
-                    bytes: s.remaining.min(r.remaining),
-                });
-                matched.insert(s.idx);
-                ri += 1;
+                None => unmatched_recvs.push(r.idx),
             }
         }
     }
@@ -292,7 +324,8 @@ fn match_messages(trace: &Trace, connections: &[Connection]) -> (Vec<MatchedMess
         .filter(|i| !matched.contains(i))
         .collect();
     unmatched.sort_unstable();
-    (matches, unmatched)
+    unmatched_recvs.sort_unstable();
+    (matches, unmatched, unmatched_recvs)
 }
 
 /// The host id of an `inet:<host>:<port>` display name.
@@ -362,6 +395,31 @@ event=receive machine=1 cpuTime=10 procTime=0 traceType=3 pid=2 pc=2 sock=7 msgL
         let p = Pairing::analyze(&t);
         assert_eq!(p.messages.len(), 2);
         assert_eq!(p.unmatched_sends, vec![2], "third datagram was lost");
+        assert!(p.unmatched_recvs.is_empty());
+    }
+
+    #[test]
+    fn duplicated_delivery_is_an_unmatched_receive() {
+        // One send of 10 bytes, two deliveries: the duplicate must not
+        // steal a different send — it shows up as an unmatched receive.
+        let log = "\
+event=send machine=0 cpuTime=1 procTime=0 traceType=1 pid=1 pc=1 sock=3 msgLength=10 destName=inet:1:53
+event=send machine=0 cpuTime=2 procTime=0 traceType=1 pid=1 pc=2 sock=3 msgLength=25 destName=inet:1:53
+event=receive machine=1 cpuTime=9 procTime=0 traceType=3 pid=2 pc=1 sock=7 msgLength=10 sourceName=inet:0:1024
+event=receive machine=1 cpuTime=10 procTime=0 traceType=3 pid=2 pc=2 sock=7 msgLength=10 sourceName=inet:0:1024
+event=receive machine=1 cpuTime=11 procTime=0 traceType=3 pid=2 pc=3 sock=7 msgLength=25 sourceName=inet:0:1024
+";
+        let t = Trace::parse(log);
+        let p = Pairing::analyze(&t);
+        assert_eq!(p.messages.len(), 2);
+        assert_eq!(p.unmatched_sends, Vec::<usize>::new());
+        assert_eq!(p.unmatched_recvs, vec![3], "the duplicate delivery");
+        // The 25-byte receive found the 25-byte send despite the
+        // duplicate arriving between them.
+        assert!(p
+            .messages
+            .iter()
+            .any(|m| m.send_idx == 1 && m.recv_idx == 4 && m.bytes == 25));
     }
 
     #[test]

@@ -27,7 +27,136 @@ fn arb_conversation() -> impl Strategy<Value = String> {
     })
 }
 
+/// A send line from `src`, addressed to `dst`, `len` bytes.
+fn send_line(src: u32, dst: u32, len: u32, cpu: u32) -> String {
+    format!(
+        "event=send machine={src} cpuTime={cpu} procTime=0 traceType=1 pid={} pc=0 sock=3 msgLength={len} destName=inet:{dst}:53\n",
+        10 + src
+    )
+}
+
+/// The matching receive line on `dst` for a message from `src`.
+fn recv_line(src: u32, dst: u32, len: u32, cpu: u32) -> String {
+    format!(
+        "event=receive machine={dst} cpuTime={cpu} procTime=0 traceType=3 pid={} pc=0 sock=7 msgLength={len} sourceName=inet:{src}:1024\n",
+        10 + dst
+    )
+}
+
+/// Generates a randomized *paired* multi-process trace: messages
+/// between three machines with pairwise-distinct lengths (the regime
+/// the exact-length datagram matcher is sound in), each delivered or
+/// lost per the generated plan, receives interleaved arbitrarily far
+/// after their sends. Returns `(log, delivered, lost)`.
+fn arb_paired_trace() -> impl Strategy<Value = (String, usize, usize)> {
+    let msg = (0u32..3, 1u32..3, any::<bool>(), 0usize..4);
+    proptest::collection::vec(msg, 1..25).prop_map(|plan| {
+        let mut log = String::new();
+        let mut cpu = [0u32; 3];
+        let mut pending: Vec<(u32, u32, u32)> = Vec::new();
+        let (mut delivered, mut lost) = (0usize, 0usize);
+        for (k, (src, dstoff, deliver, flush)) in plan.iter().enumerate() {
+            let (src, dst) = (*src, (*src + *dstoff) % 3);
+            let len = 20 + k as u32; // unique per message
+            cpu[src as usize] += 10;
+            log.push_str(&send_line(src, dst, len, cpu[src as usize]));
+            if *deliver {
+                pending.push((src, dst, len));
+                delivered += 1;
+            } else {
+                lost += 1;
+            }
+            // Deliver a generated number of queued messages, oldest
+            // first — receives trail their sends by arbitrary spans.
+            for _ in 0..*flush {
+                if pending.is_empty() {
+                    break;
+                }
+                let (s, d, l) = pending.remove(0);
+                cpu[d as usize] += 10;
+                log.push_str(&recv_line(s, d, l, cpu[d as usize]));
+            }
+        }
+        for (s, d, l) in pending {
+            cpu[d as usize] += 10;
+            log.push_str(&recv_line(s, d, l, cpu[d as usize]));
+        }
+        (log, delivered, lost)
+    })
+}
+
+/// Two events with no message path between them must stay unordered,
+/// and one exchange must order everything across it — the concurrency
+/// regression pinned by hand.
+#[test]
+fn concurrent_events_stay_unordered_across_one_exchange() {
+    let mut log = String::new();
+    log.push_str(&send_line(0, 1, 10, 1)); // 0: the exchanged message
+    log.push_str(&send_line(1, 2, 5, 1)); //  1: m1 beacon, pre-receive
+    log.push_str(&recv_line(0, 1, 10, 2)); // 2: m1 receives the message
+    log.push_str(&send_line(0, 2, 6, 2)); //  3: m0 beacon, post-send
+    log.push_str(&send_line(1, 2, 7, 3)); //  4: m1 beacon, post-receive
+    let trace = Trace::parse(&log);
+    let pairing = Pairing::analyze(&trace);
+    let hb = HappensBefore::build(&trace, &pairing);
+    assert!(!hb.has_cycle());
+    assert_eq!(pairing.messages.len(), 1);
+
+    // Ordered: the send precedes its receive and what follows it.
+    assert!(hb.precedes(0, 2));
+    assert!(hb.precedes(0, 4));
+    assert!(hb.lamport(0) < hb.lamport(2));
+    // Concurrent: m1's pre-receive beacon vs the send, and m0's
+    // post-send beacon vs m1's receive — no path either way.
+    assert!(!hb.precedes(0, 1) && !hb.precedes(1, 0));
+    assert!(!hb.precedes(3, 2) && !hb.precedes(2, 3));
+    assert!(!hb.precedes(3, 4) && !hb.precedes(4, 3));
+}
+
 proptest! {
+    #[test]
+    fn paired_traces_match_their_plan(
+        (log, delivered, lost) in arb_paired_trace()
+    ) {
+        let trace = Trace::parse(&log);
+        let pairing = Pairing::analyze(&trace);
+        // Exact-length matching recovers the plan exactly: every
+        // delivered message matched, every lost send reported, no
+        // surplus receives invented.
+        prop_assert_eq!(pairing.messages.len(), delivered);
+        prop_assert_eq!(pairing.unmatched_sends.len(), lost);
+        prop_assert!(pairing.unmatched_recvs.is_empty());
+        let hb = HappensBefore::build(&trace, &pairing);
+        prop_assert!(!hb.has_cycle());
+        for m in &pairing.messages {
+            prop_assert!(hb.precedes(m.send_idx, m.recv_idx));
+        }
+    }
+
+    #[test]
+    fn paired_traces_yield_a_strict_partial_order(
+        (log, _, _) in arb_paired_trace()
+    ) {
+        let trace = Trace::parse(&log);
+        let pairing = Pairing::analyze(&trace);
+        let hb = HappensBefore::build(&trace, &pairing);
+        let n = trace.len();
+        for a in 0..n {
+            prop_assert!(!hb.precedes(a, a), "irreflexive {a}");
+            for b in 0..n {
+                if hb.precedes(a, b) {
+                    prop_assert!(!hb.precedes(b, a), "antisymmetric {a} {b}");
+                    prop_assert!(hb.lamport(a) < hb.lamport(b), "clocks {a} {b}");
+                }
+                for c in 0..n {
+                    if hb.precedes(a, b) && hb.precedes(b, c) {
+                        prop_assert!(hb.precedes(a, c), "transitive {a} {b} {c}");
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn happens_before_is_a_strict_partial_order(log in arb_conversation()) {
         let trace = Trace::parse(&log);

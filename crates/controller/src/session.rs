@@ -14,6 +14,7 @@
 //! over simulated IPC through the meterdaemons), driven from the host.
 
 use crate::job::{Job, ManagedProc, ProcAction, ProcState};
+use dpm_analysis::{ByzReport, MutexReport, Trace};
 use dpm_filter::{Descriptions, LogRecord, Rules};
 use dpm_logstore::StoreReader;
 use dpm_meterd::{
@@ -393,6 +394,7 @@ impl Controller {
             "removeprocess" | "rmproc" => self.cmd_removeprocess(&args),
             "jobs" => self.cmd_jobs(&args),
             "getlog" => self.cmd_getlog(&args),
+            "check" => self.cmd_check(&args),
             "source" => self.cmd_source(&args, depth),
             "sink" => self.cmd_sink(&args),
             "input" => self.cmd_input(&args),
@@ -421,6 +423,7 @@ impl Controller {
         self.emit("  removejob <jobname>     removeprocess <jobname> <process>");
         self.emit("  jobs [<jobname1 jobname2 ...>]");
         self.emit("  getlog <filtername> <destination filename>");
+        self.emit("  check <filtername> <mutex|byzantine>");
         self.emit("  source <filename>       sink [<filename>]");
         self.emit("  input <jobname> <process> <text>");
         self.emit("  die (aliases: exit, bye)");
@@ -1041,31 +1044,10 @@ impl Controller {
                 _ => self.emit(&format!("cannot retrieve log of filter '{fname}'")),
             },
             LogSinkMode::Store => {
-                let names = match self.rpc(
-                    &f.machine,
-                    &Request::ListFiles {
-                        prefix: format!("{}/", f.logfile),
-                    },
-                ) {
-                    Ok(Reply::FileList {
-                        status: RpcStatus::Ok,
-                        names,
-                    }) => names,
-                    _ => {
-                        self.emit(&format!("cannot list segments of filter '{fname}'"));
-                        return;
-                    }
+                let Some(segments) = self.fetch_segments(&f) else {
+                    self.emit(&format!("cannot list segments of filter '{fname}'"));
+                    return;
                 };
-                let mut segments = Vec::new();
-                for path in names.into_iter().filter(|n| n.ends_with(".seg")) {
-                    if let Ok(Reply::File {
-                        status: RpcStatus::Ok,
-                        data,
-                    }) = self.rpc(&f.machine, &Request::GetFile { path })
-                    {
-                        segments.push(data);
-                    }
-                }
                 let reader = StoreReader::from_segment_bytes(segments);
                 let mut text = String::new();
                 for frame in reader.scan() {
@@ -1076,6 +1058,88 @@ impl Controller {
                 }
                 self.proc.machine().fs().write(dest, text.into_bytes());
             }
+        }
+    }
+
+    /// Fetches every store segment of a `log=store` filter over RPC,
+    /// in segment order. `None` if the listing fails.
+    fn fetch_segments(&mut self, f: &FilterInfo) -> Option<Vec<Vec<u8>>> {
+        let names = match self.rpc(
+            &f.machine,
+            &Request::ListFiles {
+                prefix: format!("{}/", f.logfile),
+            },
+        ) {
+            Ok(Reply::FileList {
+                status: RpcStatus::Ok,
+                names,
+            }) => names,
+            _ => return None,
+        };
+        let mut segments = Vec::new();
+        for path in names.into_iter().filter(|n| n.ends_with(".seg")) {
+            if let Ok(Reply::File {
+                status: RpcStatus::Ok,
+                data,
+            }) = self.rpc(&f.machine, &Request::GetFile { path })
+            {
+                segments.push(data);
+            }
+        }
+        Some(segments)
+    }
+
+    /// Rebuilds a filter's log as an analysis trace, whichever sink
+    /// mode it uses.
+    fn filter_trace(&mut self, f: &FilterInfo) -> Option<Trace> {
+        match f.log_mode {
+            LogSinkMode::Text => match self.rpc(
+                &f.machine,
+                &Request::GetFile {
+                    path: f.logfile.clone(),
+                },
+            ) {
+                Ok(Reply::File {
+                    status: RpcStatus::Ok,
+                    data,
+                }) => Some(Trace::parse(&String::from_utf8_lossy(&data))),
+                _ => None,
+            },
+            LogSinkMode::Store => {
+                let reader = StoreReader::from_segment_bytes(self.fetch_segments(f)?);
+                Some(Trace::from_store(&reader, &f.desc))
+            }
+        }
+    }
+
+    /// `check <filtername> <mutex|byzantine>` — run a distributed-
+    /// algorithm property checker over the filter's collected log.
+    /// Everything it reports is computed from meter records alone.
+    fn cmd_check(&mut self, args: &[&str]) {
+        let (Some(fname), Some(which)) = (args.first(), args.get(1)) else {
+            self.emit("usage: check <filtername> <mutex|byzantine>");
+            return;
+        };
+        let Some(f) = self.filters.iter().find(|f| f.name == **fname).cloned() else {
+            self.emit(&format!("no filter named '{fname}'"));
+            return;
+        };
+        let Some(trace) = self.filter_trace(&f) else {
+            self.emit(&format!("cannot retrieve log of filter '{fname}'"));
+            return;
+        };
+        let report = match *which {
+            "mutex" => MutexReport::check(&trace).to_string(),
+            "byzantine" | "byz" => ByzReport::check(&trace).to_string(),
+            other => {
+                self.emit(&format!(
+                    "unknown checker '{other}' (want mutex or byzantine)"
+                ));
+                return;
+            }
+        };
+        for line in report.lines() {
+            self.emit(line);
         }
     }
 

@@ -16,7 +16,12 @@
 //! * [`pipeline`] — a staged stream pipeline, for the parallelism
 //!   analysis;
 //! * [`client_server`] — a forking server in the `inetd` style, the
-//!   natural target of the `acquire` command.
+//!   natural target of the `acquire` command;
+//! * [`lamport_mutex`] — Lamport's distributed mutual exclusion,
+//!   emitting length-beacon datagrams so the trace checker
+//!   (`dpm_analysis::properties`) can verify safety from the log;
+//! * [`byzantine`] — synchronous Byzantine agreement (oral messages,
+//!   one traitor among four generals), likewise trace-checkable.
 //!
 //! [`register_all`] registers every program with a cluster and
 //! installs the corresponding `/bin` files on every machine.
@@ -24,7 +29,9 @@
 #![warn(missing_docs)]
 
 pub mod ab;
+pub mod byzantine;
 pub mod client_server;
+pub mod lamport_mutex;
 pub mod pipeline;
 pub mod ring;
 pub mod tsp;
@@ -40,4 +47,6 @@ pub fn register_all(cluster: &Arc<Cluster>) {
     ring::register(cluster);
     pipeline::register(cluster);
     client_server::register(cluster);
+    lamport_mutex::register(cluster);
+    byzantine::register(cluster);
 }

@@ -19,6 +19,14 @@ pub const RING_PORT: u16 = 1900;
 const RETRANS_MS: u64 = 30;
 /// How long a finished node lingers to re-acknowledge duplicates.
 const LINGER_MS: u64 = 120;
+/// Retransmissions of a *final* token (its holder has all its laps)
+/// before concluding the successor acked, lingered out, and exited.
+/// A successor cannot exit without having seen every token, so the
+/// token is undelivered only if every one of these copies dropped.
+const FINAL_RETRANS: u32 = 64;
+/// Hard virtual-time deadline: a fault schedule that defeats the
+/// protocol must surface as a visible failure, never a hung test.
+const DEADLINE_MS: u64 = 60_000;
 
 /// Ring node: args `[index, n_nodes, next_host, laps, starter]`.
 ///
@@ -49,6 +57,7 @@ pub fn ring_main(p: Proc, args: Vec<String>) -> SysResult<()> {
     };
 
     let total_hops = laps * n as u32;
+    let deadline = u64::from(p.time_ms()) + DEADLINE_MS;
     let mut tokens_seen = 0u32;
     // Hop counts strictly decrease around the ring, so anything not
     // smaller than the last accepted token is a duplicate.
@@ -58,10 +67,12 @@ pub fn ring_main(p: Proc, args: Vec<String>) -> SysResult<()> {
     'outer: loop {
         // Reliable forward of anything we owe our successor.
         if let Some(hops) = outgoing.take() {
-            let acked = loop {
+            let mut attempts = 0u32;
+            loop {
                 p.sendto(sock, format!("token {hops}").as_bytes(), &next)?;
+                attempts += 1;
                 match read_timeout(&p, sock, 64, RETRANS_MS)? {
-                    Some(data) if data == b"ack" => break true,
+                    Some(data) if data == b"ack" => break,
                     Some(data) => {
                         // An interleaved (necessarily duplicate) token;
                         // ignore it — its sender will retransmit and we
@@ -70,16 +81,38 @@ pub fn ring_main(p: Proc, args: Vec<String>) -> SysResult<()> {
                     }
                     None => {} // timed out: retransmit
                 }
-            };
-            let _ = acked;
+                // On a final token the acks themselves may all have
+                // been lost and the successor, done and lingered out,
+                // gone: count enough unanswered copies as delivered
+                // instead of retransmitting at a dead port forever.
+                if tokens_seen >= laps && attempts >= FINAL_RETRANS {
+                    break;
+                }
+                if u64::from(p.time_ms()) > deadline {
+                    break 'outer;
+                }
+            }
             if tokens_seen >= laps {
                 break 'outer;
             }
             continue;
         }
 
-        // Wait for a token (blocking is fine: the holder retransmits).
-        let (data, src) = p.recvfrom(sock, 64)?;
+        // Wait for a token (the holder retransmits), but never past
+        // the deadline — a blocking receive here is where a defeated
+        // protocol would otherwise hang the run.
+        let (data, src) = loop {
+            match p.recvfrom_nb(sock, 64)? {
+                Some(got) => break got,
+                None => {
+                    if u64::from(p.time_ms()) > deadline {
+                        break 'outer;
+                    }
+                    p.sleep_ms(RETRANS_MS)?;
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            }
+        };
         let Some(hops) = parse_token(&data) else {
             continue;
         };

@@ -1,0 +1,158 @@
+//! Machine-readable benchmark snapshots (`BENCH_workloads.json`).
+//!
+//! The workload end-to-end tests publish a few headline numbers —
+//! events metered, records ingested, analysis wall time — so CI can
+//! archive them per run and humans can diff them across commits. The
+//! image has no JSON dependency, so the format is hand-rolled and
+//! deliberately line-oriented: the file is one JSON object, one entry
+//! per line, which lets independent test binaries merge their entries
+//! with a plain read-modify-write (cargo runs test binaries in
+//! sequence, so there is no interleaving to guard against).
+//!
+//! The output path defaults to `target/BENCH_workloads.json` and can
+//! be redirected with the `DPM_BENCH_OUT` environment variable.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One named benchmark entry: an ordered list of key/value metrics,
+/// rendered as a single JSON object line.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    name: String,
+    fields: Vec<(String, String)>,
+}
+
+impl BenchEntry {
+    /// Starts an entry named `name` (the JSON key it merges under).
+    #[must_use]
+    pub fn new(name: &str) -> BenchEntry {
+        BenchEntry {
+            name: name.to_owned(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Adds an integer metric.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: u64) -> BenchEntry {
+        self.fields.push((key.to_owned(), value.to_string()));
+        self
+    }
+
+    /// Adds a real-valued metric, rendered with three decimals.
+    #[must_use]
+    pub fn num(mut self, key: &str, value: f64) -> BenchEntry {
+        self.fields.push((key.to_owned(), format!("{value:.3}")));
+        self
+    }
+
+    /// Adds a string metric.
+    #[must_use]
+    pub fn text(mut self, key: &str, value: &str) -> BenchEntry {
+        self.fields
+            .push((key.to_owned(), format!("\"{}\"", escape(value))));
+        self
+    }
+
+    /// The entry as its single JSON line (without a trailing comma).
+    fn render(&self) -> String {
+        let mut out = format!("\"{}\": {{", escape(&self.name));
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", escape(k), v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Where the snapshot lives: `$DPM_BENCH_OUT` if set, else
+/// `target/BENCH_workloads.json` under the workspace root.
+#[must_use]
+pub fn bench_out_path() -> PathBuf {
+    if let Ok(p) = std::env::var("DPM_BENCH_OUT") {
+        return PathBuf::from(p);
+    }
+    // CARGO_MANIFEST_DIR points at the workspace root for the `dpm`
+    // package's integration tests.
+    let root = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    PathBuf::from(root)
+        .join("target")
+        .join("BENCH_workloads.json")
+}
+
+/// Merges `entry` into the snapshot file: an existing entry with the
+/// same name is replaced, others are kept, and entries stay sorted by
+/// name. Returns the path written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading or writing the snapshot.
+pub fn record(entry: &BenchEntry) -> std::io::Result<PathBuf> {
+    let path = bench_out_path();
+    let mut entries: Vec<(String, String)> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            if line.is_empty() || line == "{" || line == "}" {
+                continue;
+            }
+            // The name is the first quoted string on the line; the
+            // writer below guarantees one entry per line.
+            if let Some(name) = line.strip_prefix('"').and_then(|r| r.split('"').next()) {
+                entries.push((name.to_owned(), line.to_owned()));
+            }
+        }
+    }
+    entries.retain(|(name, _)| *name != entry.name);
+    entries.push((entry.name.clone(), entry.render()));
+    entries.sort();
+    let body: Vec<String> = entries.into_iter().map(|(_, line)| line).collect();
+    let text = format!("{{\n{}\n}}\n", body.join(",\n"));
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_render_and_merge_line_by_line() {
+        let a = BenchEntry::new("alpha")
+            .int("events", 42)
+            .num("rate", 1234.5)
+            .text("net", "ideal");
+        assert_eq!(
+            a.render(),
+            "\"alpha\": {\"events\": 42, \"rate\": 1234.500, \"net\": \"ideal\"}"
+        );
+
+        // Round-trip through the merge logic without touching the
+        // default path.
+        let dir = std::env::temp_dir().join(format!("dpm-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        std::env::set_var("DPM_BENCH_OUT", &path);
+        record(&a).unwrap();
+        record(&BenchEntry::new("beta").int("x", 1)).unwrap();
+        record(&BenchEntry::new("alpha").int("events", 43)).unwrap();
+        std::env::remove_var("DPM_BENCH_OUT");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(
+            text,
+            "{\n\"alpha\": {\"events\": 43},\n\"beta\": {\"x\": 1}\n}\n"
+        );
+    }
+}

@@ -27,6 +27,8 @@
 
 pub use dpm_core::*;
 
+pub mod bench_report;
+
 /// The individual subsystem crates, for direct access.
 pub mod crates {
     pub use dpm_analysis as analysis;

@@ -13,6 +13,7 @@
 //! set — CI pins its eight seeds explicitly — and defaults to a
 //! four-seed subset that keeps the debug-mode test run quick.
 
+use dpm::crates::analysis::{ByzReport, MutexReport, Trace};
 use dpm::crates::chaos::{self, ChaosSpec, FaultPlan};
 use dpm::crates::filter::SimFsBackend;
 use dpm::crates::logstore::StoreReader;
@@ -273,6 +274,194 @@ fn store_heals_torn_and_failing_appends() {
     assert!(
         st.torn > 0 && st.errors > 0,
         "schedule never fired — not a chaos test: {st:?}"
+    );
+}
+
+const WORKLOAD_HOSTS: [&str; 4] = ["yellow", "red", "green", "blue"];
+
+/// Runs a metered workload job under an injected-fault plan and
+/// returns the store-backed trace: the filter renders its own
+/// segments through `getlog`, so the text parsed here *is* the store.
+fn run_checked_job(
+    sim: &Simulation,
+    job: &str,
+    program: &str,
+    parms: &dyn Fn(usize) -> String,
+    why: &str,
+) -> Trace {
+    let mut control = sim.controller("yellow").expect("controller");
+    control.exec("filter f1 yellow log=store");
+    assert!(control.transcript().contains("created"), "{why}");
+    control.exec(&format!("newjob {job} f1"));
+    for (i, m) in WORKLOAD_HOSTS.iter().enumerate() {
+        let out = control.exec(&format!("addprocess {job} {m} {program} {}", parms(i)));
+        assert!(out.contains("created"), "{why}: {out}");
+    }
+    control.exec(&format!("setflags {job} send receive"));
+    control.exec(&format!("startjob {job}"));
+    assert!(control.wait_job(job, 120_000), "{why}: job never converged");
+    let text = sim.stable_log(&mut control, "f1");
+    assert!(!text.is_empty(), "{why}: empty trace");
+    control.exec("die");
+    Trace::parse(&text)
+}
+
+/// Lamport mutex under datagram duplication and delay: the per-peer
+/// sequence layer absorbs both, every round completes, and the
+/// checker proves — from the trace alone — that mutual exclusion and
+/// the timestamp order still hold, with no protocol message lost.
+#[test]
+fn mutex_rounds_survive_datagram_duplication_and_delay() {
+    let mut dups_fired = 0;
+    for seed in seeds() {
+        let spec = ChaosSpec::new().duplicate(0.25).delay(0.15, 3_000);
+        let plan = FaultPlan::new(seed, spec, &WORKLOAD_HOSTS);
+        let injector = plan.injector();
+        let sim = Simulation::builder()
+            .machines(WORKLOAD_HOSTS)
+            .net(NetConfig::ideal())
+            .seed(seed)
+            .fault_injector(injector.clone())
+            .build();
+        let why = plan.describe();
+        let trace = run_checked_job(
+            &sim,
+            "mx",
+            "/bin/lmutex",
+            &|i| format!("{i} 4 2 {}", WORKLOAD_HOSTS.join(" ")),
+            &why,
+        );
+        let report = MutexReport::check(&trace);
+        // Every round is in the trace, the message bound holds, and
+        // nothing was lost. Duplicated deliveries may show up as
+        // surplus receives — that is the checker seeing the fault —
+        // and when duplicates alias same-length beacons the pairing
+        // can knot into a happens-before cycle; the checker must then
+        // *say* its order evidence is incomplete (and name duplicated
+        // links) rather than assert order it cannot prove.
+        assert_eq!(report.intervals.len(), 4 * 2, "[{why}]\n{report}");
+        assert!(report.within_bound(), "[{why}]\n{report}");
+        // `faults.lost` may name a small tail: a delayed message whose
+        // information arrived another way (a later stamp already
+        // satisfied the waiter) can land after its receiver exited.
+        // The rounds completing above *is* the tolerance claim.
+        if report.has_cycle {
+            assert!(
+                !report.faults.duplicated.is_empty(),
+                "cycle without any duplicated delivery on record: [{why}]\n{report}"
+            );
+        } else {
+            assert!(report.violations.is_empty(), "[{why}]\n{report}");
+            assert!(report.order_ok, "[{why}]\n{report}");
+        }
+        sim.shutdown();
+        dups_fired += injector.tally().dups();
+    }
+    assert!(
+        dups_fired > 0,
+        "no duplication fired across the whole seed matrix"
+    );
+}
+
+/// Lamport mutex across a partition that opens mid-protocol and never
+/// heals: requests crossing the cut are lost, the protocol stalls to
+/// its deadline — and the checker *localizes* the fault to exactly
+/// the partitioned link, from meter records alone, while proving
+/// mutual exclusion was never violated in the rounds that did run.
+#[test]
+fn mutex_partition_is_localized_by_the_trace_checker() {
+    // The window is virtual-time-scripted, so the seed hardly changes
+    // the outcome; two seeds keep the run inside the CI budget.
+    for seed in seeds().into_iter().take(2) {
+        // green↔blue cut from 4 s (virtual) onward; the 1.5 s
+        // inter-round gap stretches four rounds well past the window's
+        // open, whatever job startup costs.
+        let spec = ChaosSpec::new().partition("green", "blue", 4_000_000, 600_000_000);
+        let plan = FaultPlan::new(seed, spec, &WORKLOAD_HOSTS);
+        let injector = plan.injector();
+        let sim = Simulation::builder()
+            .machines(WORKLOAD_HOSTS)
+            .net(NetConfig::ideal())
+            .seed(seed)
+            .fault_injector(injector.clone())
+            .build();
+        let why = plan.describe();
+        let trace = run_checked_job(
+            &sim,
+            "mx",
+            "/bin/lmutex",
+            &|i| format!("{i} 4 4 {} 1500", WORKLOAD_HOSTS.join(" ")),
+            &why,
+        );
+        let report = MutexReport::check(&trace);
+        // Mutual exclusion holds for every critical section that ran.
+        assert!(report.violations.is_empty(), "[{why}]\n{report}");
+        assert!(report.within_bound(), "[{why}]\n{report}");
+        // The fault is localized: protocol messages were lost, and
+        // every lossy link the checker names is the partitioned pair.
+        assert!(!report.faults.lost.is_empty(), "[{why}]\n{report}");
+        let g = sim.cluster().resolve_host("green").expect("green").0;
+        let b = sim.cluster().resolve_host("blue").expect("blue").0;
+        let cut = (g.min(b), g.max(b));
+        for link in report.faults.links() {
+            assert_eq!(link, cut, "[{why}]\n{report}");
+        }
+        sim.shutdown();
+    }
+}
+
+/// Byzantine agreement under datagram duplication: first-copy-wins
+/// dedup absorbs replays, the loyal lieutenants still agree on the
+/// loyal-majority value, and the checker still names the traitor —
+/// with the exact oral-messages send counts, since duplication forges
+/// deliveries, never sends.
+#[test]
+fn byzantine_agreement_survives_datagram_duplication() {
+    let mut dups_fired = 0;
+    for seed in seeds() {
+        let spec = ChaosSpec::new().duplicate(0.35);
+        let plan = FaultPlan::new(seed, spec, &WORKLOAD_HOSTS);
+        let injector = plan.injector();
+        let sim = Simulation::builder()
+            .machines(WORKLOAD_HOSTS)
+            .net(NetConfig::ideal())
+            .seed(seed)
+            .fault_injector(injector.clone())
+            .build();
+        let why = plan.describe();
+        let trace = run_checked_job(
+            &sim,
+            "byz",
+            "/bin/byz",
+            &|i| format!("{i} 4 1 2 {}", WORKLOAD_HOSTS.join(" ")),
+            &why,
+        );
+        let report = ByzReport::check(&trace);
+        assert_eq!(report.suspected, vec![2], "[{why}]\n{report}");
+        // Validity is payload-level — every loyal lieutenant decided
+        // the loyal commander's order — and must hold outright.
+        // Agreement certification additionally requires sound order
+        // evidence: when duplicated deliveries alias same-length
+        // beacons into a happens-before cycle, the checker refuses to
+        // certify and must have the duplicates on record instead.
+        assert!(report.validity_ok(), "[{why}]\n{report}");
+        if report.has_cycle {
+            assert!(
+                !report.faults.duplicated.is_empty(),
+                "cycle without any duplicated delivery on record: [{why}]\n{report}"
+            );
+        } else {
+            assert!(report.agreement_ok(), "[{why}]\n{report}");
+        }
+        assert_eq!(report.r1_sends, 3, "[{why}]\n{report}");
+        assert_eq!(report.r2_sends, 6, "[{why}]\n{report}");
+        assert!(report.faults.lost.is_empty(), "[{why}]\n{report}");
+        sim.shutdown();
+        dups_fired += injector.tally().dups();
+    }
+    assert!(
+        dups_fired > 0,
+        "no duplication fired across the whole seed matrix"
     );
 }
 

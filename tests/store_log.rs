@@ -231,6 +231,72 @@ fn store_filter_matches_text_filter_on_identical_streams() {
 }
 
 #[test]
+fn multi_segment_store_reassembles_identically_by_every_path() {
+    use dpm::crates::logstore::{LogStore, MemBackend, StoreConfig};
+    use std::sync::Arc;
+
+    // Tiny segments force many rotations; the trace must come out
+    // identical whether it is rebuilt from the reader, from the raw
+    // frame iterator, or from the rendered text — segment boundaries
+    // may not show through at any layer.
+    let backend = Arc::new(MemBackend::new());
+    let store = LogStore::open(
+        backend.clone(),
+        "multi",
+        StoreConfig {
+            segment_bytes: 512,
+            batch_bytes: 64,
+            index_every: 8,
+        },
+    );
+    let mut w = store.writer(0);
+    let mut appended = 0usize;
+    for conn in 1..=3u16 {
+        for i in 0..40u32 {
+            w.append(&msg(
+                conn,
+                1_000 * u32::from(conn) + i,
+                MeterBody::Send(MeterSendMsg {
+                    pid: 500 + u32::from(conn),
+                    pc: 7,
+                    sock: 3,
+                    msg_length: 32 + i,
+                    dest_name: Some(SockName::inet(2, 99)),
+                }),
+            ));
+            appended += 1;
+        }
+        w.append(&msg(
+            conn,
+            90_000,
+            MeterBody::TermProc(MeterTermProc {
+                pid: 500 + u32::from(conn),
+                pc: 9,
+                reason: TermReason::Normal,
+            }),
+        ));
+        appended += 1;
+    }
+    w.sync();
+
+    let reader = StoreReader::load(backend.as_ref(), "multi");
+    assert!(
+        reader.n_segments() > 3,
+        "only {} segments — rotation never happened",
+        reader.n_segments()
+    );
+    assert_eq!(reader.n_records(), appended as u64);
+
+    let desc = Descriptions::standard();
+    let from_store = Trace::from_store(&reader, &desc);
+    let from_frames = Trace::from_frames(reader.scan(), &desc);
+    let from_text = Trace::parse(&render_store(&reader, &desc));
+    assert_eq!(from_store.len(), appended);
+    assert_eq!(from_store, from_frames);
+    assert_eq!(from_store, from_text);
+}
+
+#[test]
 fn controller_session_with_store_filter() {
     let sim = Simulation::builder()
         .machines(["yellow", "red", "green", "blue"])
