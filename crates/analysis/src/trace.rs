@@ -164,6 +164,21 @@ impl Trace {
         Trace::from_frames(reader.scan(), desc)
     }
 
+    /// Builds a trace from a binary log store in *canonical* order:
+    /// frames sorted by `(machine, pid, meter sequence, store
+    /// sequence)` rather than arrival order. Two stores holding the
+    /// same set of records — say, a flat filter's store and the root of
+    /// a filter tree whose aggregates interleaved their children
+    /// differently — yield byte-identical canonical traces.
+    pub fn from_store_canonical(reader: &StoreReader, desc: &Descriptions) -> Trace {
+        let mut frames: Vec<Frame<'_>> = reader.scan().collect();
+        frames.sort_by_key(|f| {
+            let meter_seq = dpm_filter::RecordView::new(f.raw).seq();
+            (f.proc.machine, f.proc.pid, meter_seq, f.seq)
+        });
+        Trace::from_frames(frames, desc)
+    }
+
     /// Builds a trace from an iterator of stored [`Frame`]s, in the
     /// iterator's order. Reduction (`#` discards) is deferred to read
     /// time by the store, so records are decoded in full; frames whose

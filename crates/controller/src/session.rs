@@ -15,10 +15,10 @@
 
 use crate::job::{Job, ManagedProc, ProcAction, ProcState};
 use dpm_analysis::{ByzReport, MutexReport, Trace};
-use dpm_filter::{Descriptions, LogRecord, Rules};
+use dpm_filter::{parse_host_port, Descriptions, FilterRole, LogRecord, Rules};
 use dpm_logstore::StoreReader;
 use dpm_meterd::{
-    read_frame, rpc_call_retry, LogSinkMode, Reply, Request, RpcStatus, RPC_TIMEOUT_MS,
+    read_frame, rpc_call_retry, FilterSpec, LogSinkMode, Reply, Request, RpcStatus, RPC_TIMEOUT_MS,
 };
 use dpm_simos::{Backoff, BindTo, Cluster, Domain, Pid, Proc, SockType, SysError, SysResult, Uid};
 use parking_lot::Mutex;
@@ -48,6 +48,12 @@ pub struct FilterInfo {
     /// How many shards it runs (one segment stream each in store
     /// mode).
     pub shards: u32,
+    /// Its place in the filter tree: classic standalone `leaf`,
+    /// forwarding `edge` pre-filter, or merging `aggregate`.
+    pub role: FilterRole,
+    /// `host:port` of the parent filter (edges always; aggregates
+    /// optionally); empty when the filter has no parent.
+    pub upstream: String,
     /// The descriptions it filters with — kept so `getlog` can render
     /// store frames as text without re-fetching the file.
     pub desc: Descriptions,
@@ -414,7 +420,13 @@ impl Controller {
 
     fn cmd_help(&mut self) {
         self.emit("Commands:");
-        self.emit("  filter [<name> [<machine> [<filterfile> [<descriptions> [<templates> [<shards>]]]]]] [log=text|store]");
+        self.emit("  filter [<name> [<machine>] [key=value ...]]");
+        self.emit("      keys: file=<filterfile> desc=<descriptions> templates=<templates>");
+        self.emit("            shards=<n> log=text|store role=leaf|edge|aggregate");
+        self.emit("            upstream=<filtername|host:port>   (required for role=edge)");
+        self.emit(
+            "      (positional <filterfile> <descriptions> <templates> <shards> is deprecated)",
+        );
         self.emit("  newjob <jobname> [<filtername>]");
         self.emit("  addprocess <jobname> <machine> <processfile> [<parms ...>] [< <inputfile>]");
         self.emit("  acquire <jobname> <machine> <process identifier>");
@@ -432,34 +444,16 @@ impl Controller {
     }
 
     /// `filter` — create a filter process, or list filters (§4.3).
+    ///
+    /// Creation takes the keyword grammar
+    /// `filter <name> [<machine>] [key=value ...]` with the keys
+    /// `file= desc= templates= shards= log= role= upstream=`;
+    /// `upstream=` accepts either the name of a filter created earlier
+    /// in this session or a literal `host:port`. The pre-keyword
+    /// positional form `filter <name> <machine> <filterfile>
+    /// <descriptions> <templates> <shards>` is still accepted
+    /// (deprecated).
     fn cmd_filter(&mut self, args: &[&str]) {
-        // `log=text|store` may appear anywhere among the arguments;
-        // the rest are positional.
-        let mut log_mode = LogSinkMode::Text;
-        let mut bad_mode = None;
-        let mut args: Vec<&str> = args.to_vec();
-        args.retain(|a| match a.strip_prefix("log=") {
-            Some("text") => {
-                log_mode = LogSinkMode::Text;
-                false
-            }
-            Some("store") => {
-                log_mode = LogSinkMode::Store;
-                false
-            }
-            Some(other) => {
-                bad_mode = Some(other.to_owned());
-                false
-            }
-            None => true,
-        });
-        if let Some(bad) = bad_mode {
-            self.emit(&format!(
-                "bad log mode '{bad}' (want log=text or log=store)"
-            ));
-            return;
-        }
-        let args = &args[..];
         if args.is_empty() {
             if self.filters.is_empty() {
                 self.emit("no filters");
@@ -472,9 +466,18 @@ impl Controller {
                         LogSinkMode::Text => String::new(),
                         LogSinkMode::Store => "  log=store".to_owned(),
                     };
+                    let role = match f.role {
+                        FilterRole::Leaf => String::new(),
+                        r => format!("  role={r}"),
+                    };
+                    let up = if f.upstream.is_empty() {
+                        String::new()
+                    } else {
+                        format!("  upstream={}", f.upstream)
+                    };
                     format!(
-                        "{}  pid {}  machine {}  port {}{}",
-                        f.name, f.pid, f.machine, f.port, mode
+                        "{}  pid {}  machine {}  port {}{}{}{}",
+                        f.name, f.pid, f.machine, f.port, mode, role, up
                     )
                 })
                 .collect();
@@ -488,28 +491,126 @@ impl Controller {
             self.emit(&format!("filter '{name}' already exists"));
             return;
         }
-        let machine = args
-            .get(1)
+
+        // Split what follows the name into positional tokens and
+        // `key=value` pairs. The first positional is the machine; more
+        // positionals mean the deprecated pre-keyword grammar.
+        let mut positional: Vec<&str> = Vec::new();
+        let mut keywords: Vec<(&str, &str)> = Vec::new();
+        for a in &args[1..] {
+            match a.split_once('=') {
+                Some((k, v)) => keywords.push((k, v)),
+                None => positional.push(a),
+            }
+        }
+        let machine = positional
+            .first()
             .map_or(self.machine.clone(), |s| (*s).to_owned());
-        let filterfile = args
-            .get(2)
-            .map_or("/bin/filter".to_owned(), |s| (*s).to_owned());
-        let descriptions = args
-            .get(3)
-            .map_or("descriptions".to_owned(), |s| (*s).to_owned());
-        let templates = args
-            .get(4)
-            .map_or("templates".to_owned(), |s| (*s).to_owned());
-        let shards = match args.get(5) {
-            Some(s) => match s.parse::<u32>() {
-                Ok(n) if n >= 1 => n,
-                _ => {
-                    self.emit(&format!("bad shard count '{s}'"));
+
+        let mut filterfile = "/bin/filter".to_owned();
+        let mut descriptions = "descriptions".to_owned();
+        let mut templates = "templates".to_owned();
+        let mut shards = 1u32;
+        let mut log_mode = LogSinkMode::Text;
+        let mut role = FilterRole::Leaf;
+        let mut upstream = String::new();
+
+        if positional.len() > 1 {
+            // Deprecated positional layout after the machine:
+            // <filterfile> <descriptions> <templates> <shards>. Only
+            // `log=` may ride along as a keyword.
+            if let Some((k, _)) = keywords.iter().find(|(k, _)| *k != "log") {
+                self.emit(&format!(
+                    "cannot mix positional arguments with key '{k}' (use keyword form: filter <name> [<machine>] key=value ...)"
+                ));
+                return;
+            }
+            filterfile = positional[1].to_owned();
+            if let Some(d) = positional.get(2) {
+                descriptions = (*d).to_owned();
+            }
+            if let Some(t) = positional.get(3) {
+                templates = (*t).to_owned();
+            }
+            if let Some(s) = positional.get(4) {
+                match s.parse::<u32>() {
+                    Ok(n) if n >= 1 => shards = n,
+                    _ => {
+                        self.emit(&format!("bad shard count '{s}'"));
+                        return;
+                    }
+                }
+            }
+            if let Some(extra) = positional.get(5) {
+                self.emit(&format!("unexpected argument '{extra}'"));
+                return;
+            }
+        }
+        for (key, value) in keywords {
+            match key {
+                "file" => filterfile = value.to_owned(),
+                "desc" | "descriptions" => descriptions = value.to_owned(),
+                "templates" => templates = value.to_owned(),
+                "shards" => match value.parse::<u32>() {
+                    Ok(n) if n >= 1 => shards = n,
+                    _ => {
+                        self.emit(&format!(
+                            "bad value '{value}' for key 'shards' (want a count >= 1)"
+                        ));
+                        return;
+                    }
+                },
+                "log" | "mode" => match value {
+                    "text" => log_mode = LogSinkMode::Text,
+                    "store" => log_mode = LogSinkMode::Store,
+                    other => {
+                        self.emit(&format!(
+                            "bad value '{other}' for key '{key}' (want text or store)"
+                        ));
+                        return;
+                    }
+                },
+                "role" => match FilterRole::from_arg(value) {
+                    Some(r) => role = r,
+                    None => {
+                        self.emit(&format!(
+                            "bad value '{value}' for key 'role' (want leaf, edge, or aggregate)"
+                        ));
+                        return;
+                    }
+                },
+                "upstream" => upstream = value.to_owned(),
+                other => {
+                    self.emit(&format!(
+                        "unknown key '{other}' (valid keys: file, desc, templates, shards, log, role, upstream)"
+                    ));
                     return;
                 }
-            },
-            None => 1,
-        };
+            }
+        }
+        // `upstream=` names either a filter from this session or a
+        // literal host:port for parents the controller did not create.
+        if !upstream.is_empty() && !upstream.contains(':') {
+            match self.filters.iter().find(|f| f.name == upstream) {
+                Some(parent) => upstream = format!("{}:{}", parent.machine, parent.port),
+                None => {
+                    self.emit(&format!(
+                        "bad value '{upstream}' for key 'upstream' (no such filter; use a filter name or host:port)"
+                    ));
+                    return;
+                }
+            }
+        }
+        if !upstream.is_empty() && parse_host_port(&upstream).is_err() {
+            self.emit(&format!(
+                "bad value '{upstream}' for key 'upstream' (want host:port)"
+            ));
+            return;
+        }
+        if role == FilterRole::Edge && upstream.is_empty() {
+            self.emit("role=edge requires key 'upstream' (a filter name or host:port)");
+            return;
+        }
         if self.cluster.machine(&machine).is_none() {
             self.emit(&format!("unknown machine '{machine}'"));
             return;
@@ -545,19 +646,31 @@ impl Controller {
         }
         let port = self.next_filter_port;
         self.next_filter_port += 1;
-        let logfile = format!("/usr/tmp/log.{name}");
-        let reply = self.rpc(
-            &machine,
-            &Request::CreateFilter {
-                filterfile,
-                port,
-                logfile: logfile.clone(),
-                descriptions,
-                templates,
-                shards,
-                log_mode,
-            },
-        );
+        // Edges keep no log — everything they accept is forwarded
+        // upstream, so they get no log path.
+        let logfile = if role == FilterRole::Edge {
+            String::new()
+        } else {
+            format!("/usr/tmp/log.{name}")
+        };
+        let mut builder = FilterSpec::builder(&filterfile, port)
+            .descriptions(&descriptions)
+            .templates(&templates)
+            .shards(shards)
+            .log_mode(log_mode)
+            .role(role)
+            .upstream(&upstream);
+        if !logfile.is_empty() {
+            builder = builder.logfile(&logfile);
+        }
+        let spec = match builder.build() {
+            Ok(spec) => spec,
+            Err(e) => {
+                self.emit(&format!("bad filter spec: {e}"));
+                return;
+            }
+        };
+        let reply = self.rpc(&machine, &Request::CreateFilter { spec });
         match reply {
             Ok(Reply::Create {
                 pid,
@@ -571,6 +684,8 @@ impl Controller {
                     logfile,
                     log_mode,
                     shards,
+                    role,
+                    upstream,
                     desc: parsed_desc,
                 });
                 self.emit(&format!("filter '{name}' ... created: identifier= {pid}"));
@@ -1028,6 +1143,12 @@ impl Controller {
             self.emit(&format!("no filter named '{fname}'"));
             return;
         };
+        if f.role == FilterRole::Edge {
+            self.emit(&format!(
+                "filter '{fname}' is an edge pre-filter and keeps no log; getlog its upstream aggregate instead"
+            ));
+            return;
+        }
         match f.log_mode {
             LogSinkMode::Text => match self.rpc(
                 &f.machine,
@@ -1124,6 +1245,12 @@ impl Controller {
             self.emit(&format!("no filter named '{fname}'"));
             return;
         };
+        if f.role == FilterRole::Edge {
+            self.emit(&format!(
+                "filter '{fname}' is an edge pre-filter and keeps no log; check its upstream aggregate instead"
+            ));
+            return;
+        }
         let Some(trace) = self.filter_trace(&f) else {
             self.emit(&format!("cannot retrieve log of filter '{fname}'"));
             return;

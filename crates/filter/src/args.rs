@@ -1,0 +1,452 @@
+//! The filter program's argument grammar, shared by every caller.
+//!
+//! Historically the standard filter took positional arguments —
+//! `<port> <logfile> [descriptions [templates [shards [logmode]]]]` —
+//! and each new capability meant another trailing field that every
+//! caller (the meterdaemon's `CreateFilter` handler, the controller's
+//! `filter` command, hand-rolled sessions) had to get in the right
+//! order. The filter tree work replaces that with one keyword form,
+//!
+//! ```text
+//! port=4000 log=/usr/tmp/log.f1 mode=store shards=4 role=aggregate
+//! upstream=blue:4001
+//! ```
+//!
+//! parsed here in exactly one place. The legacy positional form is
+//! still accepted (deprecated) so pre-upgrade scripts keep working;
+//! [`FilterArgs::parse`] auto-detects which form it was given.
+
+use std::fmt;
+
+/// What position a filter occupies in the filter tree.
+///
+/// * [`FilterRole::Leaf`] — the classic standalone filter of §3.3:
+///   accepts meter connections, applies selection, logs locally.
+/// * [`FilterRole::Edge`] — a lightweight pre-filter co-located with a
+///   meterdaemon: applies selection to meter messages *before* they
+///   leave the machine and forwards only accepted records upstream.
+///   It keeps no log of its own.
+/// * [`FilterRole::Aggregate`] — an interior/root node: accepts record
+///   streams from children (edges or other filters), merges them by
+///   `(machine, pid, seq)` and writes one deterministic log/store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterRole {
+    /// Standalone filter: meter connections in, local log out.
+    #[default]
+    Leaf,
+    /// Machine-local pre-filter: selection before the network.
+    Edge,
+    /// Tree node: merges child record streams into one log.
+    Aggregate,
+}
+
+impl FilterRole {
+    /// The keyword-argument spelling (`role=<this>`).
+    #[must_use]
+    pub fn as_arg(self) -> &'static str {
+        match self {
+            FilterRole::Leaf => "leaf",
+            FilterRole::Edge => "edge",
+            FilterRole::Aggregate => "aggregate",
+        }
+    }
+
+    /// Parses the keyword-argument spelling.
+    #[must_use]
+    pub fn from_arg(s: &str) -> Option<FilterRole> {
+        match s {
+            "leaf" => Some(FilterRole::Leaf),
+            "edge" => Some(FilterRole::Edge),
+            "aggregate" => Some(FilterRole::Aggregate),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FilterRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_arg())
+    }
+}
+
+/// An argument-parse failure, phrased for the human who typed it: the
+/// message always names the offending key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(String);
+
+impl ArgsError {
+    fn new(msg: impl Into<String>) -> ArgsError {
+        ArgsError(msg.into())
+    }
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// The keys the keyword form understands, in canonical order.
+pub const FILTER_ARG_KEYS: &[&str] = &[
+    "port",
+    "log",
+    "desc",
+    "templates",
+    "shards",
+    "mode",
+    "role",
+    "upstream",
+];
+
+/// Splits one `key=value` token; `None` when there is no `=`.
+#[must_use]
+pub fn split_kv(token: &str) -> Option<(&str, &str)> {
+    token.split_once('=')
+}
+
+/// Parses `host:port` (as used by `upstream=`).
+///
+/// # Errors
+///
+/// When the colon or a valid non-zero port is missing.
+pub fn parse_host_port(s: &str) -> Result<(String, u16), ArgsError> {
+    let bad = || {
+        ArgsError::new(format!(
+            "bad value '{s}' for key 'upstream' (want host:port)"
+        ))
+    };
+    let (host, port) = s.rsplit_once(':').ok_or_else(bad)?;
+    let port: u16 = port.parse().map_err(|_| bad())?;
+    if host.is_empty() || port == 0 {
+        return Err(bad());
+    }
+    Ok((host.to_owned(), port))
+}
+
+/// The standard filter's parsed configuration — one struct, one
+/// parser, used identically by the filter program, the meterdaemon's
+/// `CreateFilter` handler, and the controller's `filter` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterArgs {
+    /// Port the filter listens on for meter/record connections.
+    pub port: u16,
+    /// Log file (text mode) or store directory prefix (store mode).
+    /// Empty for edges, which keep no log.
+    pub logfile: String,
+    /// Path of the descriptions file on the filter's machine.
+    pub descriptions: String,
+    /// Path of the selection-templates file on the filter's machine.
+    pub templates: String,
+    /// Number of shard workers (leaf filters; ≥ 1).
+    pub shards: u32,
+    /// `true` for the binary log store, `false` for the text log.
+    pub store_log: bool,
+    /// Position in the filter tree.
+    pub role: FilterRole,
+    /// Upstream `host:port` for edges (and optional for aggregates
+    /// that forward further up); empty when there is no upstream.
+    pub upstream: String,
+}
+
+impl Default for FilterArgs {
+    fn default() -> FilterArgs {
+        FilterArgs {
+            port: 0,
+            logfile: String::new(),
+            descriptions: "descriptions".to_owned(),
+            templates: "templates".to_owned(),
+            shards: 1,
+            store_log: false,
+            role: FilterRole::Leaf,
+            upstream: String::new(),
+        }
+    }
+}
+
+impl FilterArgs {
+    /// Parses program arguments, auto-detecting the keyword form (any
+    /// token containing `=`) versus the legacy positional form.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the bad key (or position) and what a valid
+    /// value looks like.
+    pub fn parse(args: &[String]) -> Result<FilterArgs, ArgsError> {
+        if args.iter().any(|a| a.contains('=')) {
+            FilterArgs::parse_keywords(args)
+        } else {
+            FilterArgs::parse_positional(args)
+        }
+    }
+
+    fn parse_keywords(args: &[String]) -> Result<FilterArgs, ArgsError> {
+        let mut out = FilterArgs::default();
+        for token in args {
+            let Some((key, value)) = split_kv(token) else {
+                return Err(ArgsError::new(format!(
+                    "positional argument '{token}' mixed into keyword form (use key=value)"
+                )));
+            };
+            let bad = |expect: &str| {
+                ArgsError::new(format!(
+                    "bad value '{value}' for key '{key}' (want {expect})"
+                ))
+            };
+            match key {
+                "port" => {
+                    out.port = value
+                        .parse()
+                        .ok()
+                        .filter(|&p| p != 0)
+                        .ok_or_else(|| bad("a non-zero port number"))?;
+                }
+                "log" => out.logfile = value.to_owned(),
+                "desc" => out.descriptions = value.to_owned(),
+                "templates" => out.templates = value.to_owned(),
+                "shards" => {
+                    out.shards = value
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| bad("a shard count >= 1"))?;
+                }
+                "mode" => {
+                    out.store_log = match value {
+                        "text" => false,
+                        "store" => true,
+                        _ => return Err(bad("text|store")),
+                    };
+                }
+                "role" => {
+                    out.role =
+                        FilterRole::from_arg(value).ok_or_else(|| bad("leaf|edge|aggregate"))?;
+                }
+                "upstream" => {
+                    parse_host_port(value)?;
+                    out.upstream = value.to_owned();
+                }
+                _ => {
+                    return Err(ArgsError::new(format!(
+                        "unknown key '{key}' (valid keys: {})",
+                        FILTER_ARG_KEYS.join(", ")
+                    )));
+                }
+            }
+        }
+        out.validate()?;
+        Ok(out)
+    }
+
+    /// The deprecated positional form:
+    /// `<port> <logfile> [desc [templates [shards [text|store]]]]`.
+    fn parse_positional(args: &[String]) -> Result<FilterArgs, ArgsError> {
+        let mut out = FilterArgs {
+            port: args
+                .first()
+                .and_then(|a| a.parse().ok())
+                .filter(|&p| p != 0)
+                .ok_or_else(|| ArgsError::new("missing or bad <port> (positional argument 1)"))?,
+            logfile: args
+                .get(1)
+                .cloned()
+                .ok_or_else(|| ArgsError::new("missing <logfile> (positional argument 2)"))?,
+            ..FilterArgs::default()
+        };
+        if let Some(d) = args.get(2) {
+            out.descriptions = d.clone();
+        }
+        if let Some(t) = args.get(3) {
+            out.templates = t.clone();
+        }
+        if let Some(s) = args.get(4) {
+            out.shards = s
+                .parse()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| ArgsError::new(format!("bad shard count '{s}' (want >= 1)")))?;
+        }
+        match args.get(5).map(String::as_str) {
+            None | Some("text") => {}
+            Some("store") => out.store_log = true,
+            Some(other) => {
+                return Err(ArgsError::new(format!(
+                    "bad log mode '{other}' (want text|store)"
+                )));
+            }
+        }
+        if args.len() > 6 {
+            return Err(ArgsError::new(format!(
+                "unexpected positional argument '{}' (the positional form ends at the log mode; \
+                 use key=value for tree options)",
+                args[6]
+            )));
+        }
+        out.validate()?;
+        Ok(out)
+    }
+
+    /// Cross-field checks shared by both forms.
+    ///
+    /// # Errors
+    ///
+    /// When the combination is unusable regardless of spelling.
+    pub fn validate(&self) -> Result<(), ArgsError> {
+        if self.port == 0 {
+            return Err(ArgsError::new("missing key 'port' (a filter must listen)"));
+        }
+        match self.role {
+            FilterRole::Edge => {
+                if self.upstream.is_empty() {
+                    return Err(ArgsError::new(
+                        "role=edge requires key 'upstream' (host:port of the parent filter)",
+                    ));
+                }
+            }
+            FilterRole::Leaf | FilterRole::Aggregate => {
+                if self.logfile.is_empty() {
+                    return Err(ArgsError::new(format!(
+                        "role={} requires key 'log' (where accepted records go)",
+                        self.role
+                    )));
+                }
+            }
+        }
+        if !self.upstream.is_empty() {
+            parse_host_port(&self.upstream)?;
+        }
+        Ok(())
+    }
+
+    /// The upstream address parsed, when one is set.
+    #[must_use]
+    pub fn upstream_addr(&self) -> Option<(String, u16)> {
+        if self.upstream.is_empty() {
+            None
+        } else {
+            parse_host_port(&self.upstream).ok()
+        }
+    }
+
+    /// Renders the canonical keyword form — the exact argument vector
+    /// the meterdaemon passes when spawning the filter program.
+    #[must_use]
+    pub fn to_args(&self) -> Vec<String> {
+        let mut out = vec![format!("port={}", self.port)];
+        if !self.logfile.is_empty() {
+            out.push(format!("log={}", self.logfile));
+        }
+        out.push(format!("desc={}", self.descriptions));
+        out.push(format!("templates={}", self.templates));
+        out.push(format!("shards={}", self.shards));
+        out.push(format!(
+            "mode={}",
+            if self.store_log { "store" } else { "text" }
+        ));
+        if self.role != FilterRole::Leaf {
+            out.push(format!("role={}", self.role));
+        }
+        if !self.upstream.is_empty() {
+            out.push(format!("upstream={}", self.upstream));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn keyword_form_parses_every_key() {
+        let a = FilterArgs::parse(&v(&[
+            "port=4000",
+            "log=/usr/tmp/log.f1",
+            "desc=d",
+            "templates=t",
+            "shards=4",
+            "mode=store",
+            "role=aggregate",
+            "upstream=blue:4001",
+        ]))
+        .unwrap();
+        assert_eq!(a.port, 4000);
+        assert_eq!(a.logfile, "/usr/tmp/log.f1");
+        assert_eq!(a.descriptions, "d");
+        assert_eq!(a.templates, "t");
+        assert_eq!(a.shards, 4);
+        assert!(a.store_log);
+        assert_eq!(a.role, FilterRole::Aggregate);
+        assert_eq!(a.upstream_addr(), Some(("blue".to_owned(), 4001)));
+    }
+
+    #[test]
+    fn legacy_positional_form_still_parses() {
+        let a = FilterArgs::parse(&v(&["4600", "/usr/tmp/log.text", "descriptions"])).unwrap();
+        assert_eq!(a.port, 4600);
+        assert_eq!(a.logfile, "/usr/tmp/log.text");
+        assert_eq!(a.shards, 1);
+        assert!(!a.store_log);
+        assert_eq!(a.role, FilterRole::Leaf);
+
+        let b = FilterArgs::parse(&v(&["4601", "L", "d", "t", "3", "store"])).unwrap();
+        assert_eq!(b.shards, 3);
+        assert!(b.store_log);
+    }
+
+    #[test]
+    fn errors_name_the_bad_key() {
+        let e = FilterArgs::parse(&v(&["port=4000", "log=x", "rolle=edge"])).unwrap_err();
+        assert!(e.to_string().contains("unknown key 'rolle'"), "{e}");
+        assert!(e.to_string().contains("valid keys"), "{e}");
+
+        let e = FilterArgs::parse(&v(&["port=zero", "log=x"])).unwrap_err();
+        assert!(e.to_string().contains("key 'port'"), "{e}");
+
+        let e = FilterArgs::parse(&v(&["port=4000", "log=x", "mode=binary"])).unwrap_err();
+        assert!(e.to_string().contains("key 'mode'"), "{e}");
+
+        let e = FilterArgs::parse(&v(&["port=4000", "log=x", "upstream=nocolon"])).unwrap_err();
+        assert!(e.to_string().contains("key 'upstream'"), "{e}");
+    }
+
+    #[test]
+    fn cross_field_validation() {
+        // An edge needs an upstream…
+        let e = FilterArgs::parse(&v(&["port=4000", "role=edge"])).unwrap_err();
+        assert!(e.to_string().contains("upstream"), "{e}");
+        // …but no log.
+        let a = FilterArgs::parse(&v(&["port=4000", "role=edge", "upstream=blue:4001"])).unwrap();
+        assert!(a.logfile.is_empty());
+        // Leaves and aggregates need a log.
+        let e = FilterArgs::parse(&v(&["port=4000"])).unwrap_err();
+        assert!(e.to_string().contains("'log'"), "{e}");
+        let e = FilterArgs::parse(&v(&["port=4000", "role=aggregate"])).unwrap_err();
+        assert!(e.to_string().contains("'log'"), "{e}");
+    }
+
+    #[test]
+    fn canonical_args_round_trip() {
+        for args in [
+            v(&["port=4000", "log=x", "mode=store", "shards=2"]),
+            v(&["port=4001", "role=edge", "upstream=blue:4000"]),
+            v(&["port=4002", "log=y", "role=aggregate", "upstream=hub:9"]),
+            v(&["4600", "L", "d", "t", "3", "store"]),
+        ] {
+            let a = FilterArgs::parse(&args).unwrap();
+            let b = FilterArgs::parse(&a.to_args()).unwrap();
+            assert_eq!(a, b, "canonical form of {args:?} re-parses identically");
+        }
+    }
+
+    #[test]
+    fn mixed_forms_are_rejected() {
+        let e = FilterArgs::parse(&v(&["4000", "port=4000"])).unwrap_err();
+        assert!(e.to_string().contains("positional argument '4000'"), "{e}");
+    }
+}

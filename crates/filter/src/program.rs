@@ -15,21 +15,31 @@
 //! pipeline that fans the streams across worker threads; accepted
 //! records are appended to the filter's log file in batches.
 //!
-//! Program arguments: `<port> <logfile> [descriptions [templates
-//! [shards [logmode]]]]`. The descriptions and templates are read from
-//! files on the filter's machine, defaulting to the standard
-//! descriptions and keep-everything rules when the files are absent
-//! (the controller installs real files; being lenient here keeps
-//! hand-rolled sessions pleasant). `shards` defaults to 1, which
-//! reproduces the classic single-engine filter exactly. `logmode` is
-//! `text` (default — the paper's rendered-line log at `<logfile>`) or
-//! `store` (accepted records land raw in a `dpm-logstore` binary
-//! store whose segment files live under the `<logfile>` prefix).
+//! Program arguments are the shared [`FilterArgs`] grammar — keyword
+//! form `port=… log=… mode=store shards=4 role=aggregate upstream=…`,
+//! with the legacy positional form `<port> <logfile> [descriptions
+//! [templates [shards [logmode]]]]` still accepted (deprecated). The
+//! descriptions and templates are read from files on the filter's
+//! machine, defaulting to the standard descriptions and
+//! keep-everything rules when the files are absent (the controller
+//! installs real files; being lenient here keeps hand-rolled sessions
+//! pleasant). `shards` defaults to 1, which reproduces the classic
+//! single-engine filter exactly; `mode` is `text` (default — the
+//! paper's rendered-line log at the log path) or `store` (accepted
+//! records land raw in a `dpm-logstore` binary store whose segment
+//! files live under the log-path prefix).
+//!
+//! The `role` key selects the filter's place in the tree: `leaf`
+//! (default — the classic standalone filter below), `edge` (see
+//! [`crate::prefilter`]) or `aggregate` (see [`crate::tree`]).
 
+use crate::args::{FilterArgs, FilterRole};
 use crate::desc::Descriptions;
+use crate::prefilter::run_edge;
 use crate::rules::Rules;
 use crate::shard::{ShardLog, ShardSink, ShardedFilter, DEFAULT_BATCH_BYTES};
 use crate::store::SimFsBackend;
+use crate::tree::run_aggregate;
 use dpm_logstore::{Backend, LogStore, StoreConfig};
 use dpm_simos::{BindTo, Cluster, Domain, Proc, SockType, SysError, SysResult};
 use std::sync::Arc;
@@ -57,44 +67,36 @@ pub fn register_filter_program(cluster: &Arc<Cluster>) {
 /// `EINVAL` for missing/garbled arguments; socket errors propagate;
 /// runs until killed.
 pub fn filter_main(p: Proc, args: Vec<String>) -> SysResult<()> {
-    let port: u16 = args
-        .first()
-        .and_then(|a| a.parse().ok())
-        .ok_or(SysError::Einval)?;
-    let log_path = args.get(1).cloned().ok_or(SysError::Einval)?;
-    let desc_path = args
-        .get(2)
-        .cloned()
-        .unwrap_or_else(|| "descriptions".to_owned());
-    let tmpl_path = args
-        .get(3)
-        .cloned()
-        .unwrap_or_else(|| "templates".to_owned());
-    let shards: usize = match args.get(4) {
-        Some(a) => a.parse().ok().filter(|&n| n > 0).ok_or(SysError::Einval)?,
-        None => 1,
-    };
-    let store_log = match args.get(5).map(String::as_str) {
-        None | Some("text") => false,
-        Some("store") => true,
-        Some(_) => return Err(SysError::Einval),
-    };
+    let args = FilterArgs::parse(&args).map_err(|_| SysError::Einval)?;
 
-    let desc = match p.machine().fs().read_string(&desc_path) {
+    let desc = match p.machine().fs().read_string(&args.descriptions) {
         Some(text) => Descriptions::parse(&text).map_err(|_| SysError::Einval)?,
         None => Descriptions::standard(),
     };
-    let rules = match p.machine().fs().read_string(&tmpl_path) {
+    let rules = match p.machine().fs().read_string(&args.templates) {
         Some(text) => Rules::parse(&text).map_err(|_| SysError::Einval)?,
         None => Rules::default(),
     };
+
+    match args.role {
+        FilterRole::Edge => run_edge(&p, &args, desc, rules),
+        FilterRole::Aggregate => run_aggregate(&p, &args, desc, rules),
+        FilterRole::Leaf => run_leaf(&p, &args, desc, rules),
+    }
+}
+
+/// The classic standalone (`role=leaf`) filter: meter connections in,
+/// a sharded selection pipeline, a local log out.
+fn run_leaf(p: &Proc, args: &FilterArgs, desc: Descriptions, rules: Rules) -> SysResult<()> {
+    let shards = args.shards.max(1) as usize;
+    let log_path = args.logfile.clone();
 
     // The shard workers are real threads; each log destination writes
     // to the filter machine's file system. Text batches end on line
     // boundaries and store flushes end on frame boundaries, and
     // `SimFs::append` is atomic per call, so output from different
     // shards never interleaves mid-line (or mid-frame).
-    let pipeline = if store_log {
+    let pipeline = if args.store_log {
         // `log=store`: segments live under the `<logfile>` prefix on
         // this machine's fs; every shard writer shares one store (one
         // global seq space, one monotonic clock).
@@ -121,7 +123,7 @@ pub fn filter_main(p: Proc, args: Vec<String>) -> SysResult<()> {
     };
 
     let listener = p.socket(Domain::Inet, SockType::Stream)?;
-    p.bind(listener, BindTo::Port(port))?;
+    p.bind(listener, BindTo::Port(args.port))?;
     p.listen(listener, 32)?;
 
     loop {

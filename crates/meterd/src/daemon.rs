@@ -13,6 +13,7 @@
 //! initiates the connection to the controller.
 
 use crate::proto::{frame_len, Reply, Request, RpcStatus};
+use dpm_filter::FilterRole;
 use dpm_meter::{MeterFlags, TermReason};
 use dpm_simos::{
     connect_backoff, Backoff, BindTo, Cluster, Domain, Fd, FlagSel, Pid, PidSel, Proc, RunState,
@@ -252,6 +253,17 @@ impl ReplyCache {
     }
 }
 
+/// The machine-local edge pre-filter, when one is running: its pid
+/// (so the registry can be cleared when it dies) and its meter port.
+///
+/// While an edge is registered, every meter connection this daemon
+/// wires up — `Create` and `Acquire` alike — goes to the edge instead
+/// of crossing the network to the job's filter; the edge applies the
+/// selection templates locally and forwards only accepted records
+/// upstream. That capture-everything behavior is the point of an edge:
+/// one per machine, co-located with the daemon.
+type EdgeRegistry = Arc<Mutex<Option<(Pid, u16)>>>;
+
 /// What the daemon remembers about each process it created.
 #[derive(Debug, Clone)]
 struct ProcInfo {
@@ -307,6 +319,7 @@ pub fn meterd_main(p: Proc, _args: Vec<String>) -> SysResult<()> {
 
     let procs: Arc<Mutex<HashMap<Pid, ProcInfo>>> = Arc::new(Mutex::new(HashMap::new()));
     let replies: Arc<Mutex<ReplyCache>> = Arc::new(Mutex::new(ReplyCache::default()));
+    let edges: EdgeRegistry = Arc::new(Mutex::new(None));
 
     // The SIGCHLD handler: "when a process changes state (stops or
     // terminates), a signal handling procedure in the meterdaemon is
@@ -317,9 +330,18 @@ pub fn meterd_main(p: Proc, _args: Vec<String>) -> SysResult<()> {
     {
         let watcher = p.clone();
         let procs = procs.clone();
+        let edges = edges.clone();
         std::thread::spawn(move || loop {
             match watcher.wait_child() {
                 Ok((pid, reason)) => {
+                    // A dead edge pre-filter must stop capturing meter
+                    // connections; new ones go to the job's filter.
+                    {
+                        let mut e = edges.lock();
+                        if e.map(|(epid, _)| epid) == Some(pid) {
+                            *e = None;
+                        }
+                    }
                     let info = procs.lock().get(&pid).cloned();
                     if let Some(info) = info {
                         let state = match reason {
@@ -355,7 +377,7 @@ pub fn meterd_main(p: Proc, _args: Vec<String>) -> SysResult<()> {
 
     loop {
         let (conn, _who) = p.accept(listener)?;
-        let outcome = serve_one(&p, conn, &procs, &replies);
+        let outcome = serve_one(&p, conn, &procs, &replies, &edges);
         let _ = p.close(conn);
         // Individual request failures must not kill the daemon, but a
         // kill signal must.
@@ -374,6 +396,7 @@ fn serve_one(
     conn: Fd,
     procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>,
     replies: &Arc<Mutex<ReplyCache>>,
+    edges: &EdgeRegistry,
 ) -> SysResult<()> {
     let Some(frame) = read_frame(p, conn)? else {
         return Ok(());
@@ -401,7 +424,7 @@ fn serve_one(
             return Ok(());
         }
     }
-    let reply = handle(p, procs, req)?;
+    let reply = handle(p, procs, edges, req)?;
     if let Some(reply) = reply {
         let bytes = reply.encode();
         if let Some(id) = req_id {
@@ -425,6 +448,7 @@ fn sys_status(e: &SysError) -> RpcStatus {
 fn handle(
     p: &Proc,
     procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>,
+    edges: &EdgeRegistry,
     req: Request,
 ) -> SysResult<Option<Reply>> {
     match req {
@@ -442,6 +466,7 @@ fn handle(
             let reply = create_process(
                 p,
                 procs,
+                edges,
                 &filename,
                 params,
                 filter_port,
@@ -454,31 +479,18 @@ fn handle(
             )?;
             Ok(Some(reply))
         }
-        Request::CreateFilter {
-            filterfile,
-            port,
-            logfile,
-            descriptions,
-            templates,
-            shards,
-            log_mode,
-        } => {
-            // The shard count rides along as the filter program's
-            // fifth argument (`0` would be rejected by the standard
-            // filter, so treat it as "default" here) and the log sink
-            // mode as the sixth.
-            let args = vec![
-                port.to_string(),
-                logfile,
-                descriptions,
-                templates,
-                shards.max(1).to_string(),
-                log_mode.as_arg().to_string(),
-            ];
-            match p.spawn_file(&filterfile, args, None) {
+        Request::CreateFilter { spec } => {
+            // The spec renders to the filter program's argv —
+            // positional for plain leaves (the §3.4 user-filter
+            // contract), keyword for tree roles; shard clamping for
+            // legacy v0 bodies happens inside `to_program_args`.
+            match p.spawn_file(&spec.filterfile, spec.to_program_args(), None) {
                 Ok(pid) => {
                     // Filters run immediately.
                     p.kill(pid, Sig::Cont)?;
+                    if spec.role == FilterRole::Edge {
+                        *edges.lock() = Some((pid, spec.port));
+                    }
                     Ok(Some(Reply::Create {
                         pid,
                         status: RpcStatus::Ok,
@@ -507,7 +519,8 @@ fn handle(
             control_host: _,
         } => {
             let result = (|| -> SysResult<()> {
-                let s = connect_filter(p, &filter_host, filter_port)?;
+                let (host, port) = filter_target(p, edges, &filter_host, filter_port);
+                let s = connect_filter(p, &host, port)?;
                 let r = p.setmeter(PidSel::Pid(pid), FlagSel::Set(meter_flags), SockSel::Fd(s));
                 let _ = p.close(s);
                 r
@@ -590,6 +603,22 @@ fn connect_filter(p: &Proc, host: &str, port: u16) -> SysResult<Fd> {
     connect_backoff(p, host, port, Backoff::standard())
 }
 
+/// Where a meter connection should really go: the machine-local edge
+/// pre-filter when one is registered (selection happens before the
+/// network, only accepted records travel upstream), otherwise the
+/// filter the request named.
+fn filter_target(
+    p: &Proc,
+    edges: &EdgeRegistry,
+    filter_host: &str,
+    filter_port: u16,
+) -> (String, u16) {
+    match *edges.lock() {
+        Some((_, eport)) => (p.machine().name().to_owned(), eport),
+        None => (filter_host.to_owned(), filter_port),
+    }
+}
+
 fn ack<T>(r: SysResult<T>) -> Reply {
     match r {
         Ok(_) => Reply::Ack {
@@ -605,6 +634,7 @@ fn ack<T>(r: SysResult<T>) -> Reply {
 fn create_process(
     p: &Proc,
     procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>,
+    edges: &EdgeRegistry,
     filename: &str,
     params: Vec<String>,
     filter_port: u16,
@@ -620,7 +650,8 @@ fn create_process(
     // Once the connection is established, the daemon calls setmeter(),
     // passing to it the connected socket descriptor." (§4.1)
     let meter_sock = if meter_flags.meters_anything() || filter_port != 0 {
-        match connect_filter(p, filter_host, filter_port) {
+        let (host, port) = filter_target(p, edges, filter_host, filter_port);
+        match connect_filter(p, &host, port) {
             Ok(s) => Some(s),
             Err(e) => {
                 return Ok(Reply::Create {

@@ -18,6 +18,7 @@
 //! Wire form: `u32 total-length, u32 type, body`, strings as
 //! `u32 length + bytes`, all little-endian (VAX order).
 
+use dpm_filter::{FilterArgs, FilterRole};
 use dpm_meter::MeterFlags;
 use dpm_simos::Pid;
 use std::fmt;
@@ -215,6 +216,268 @@ impl fmt::Display for LogSinkMode {
     }
 }
 
+/// [`FilterRole`]'s wire code (`0` = leaf keeps the pre-tree default).
+fn role_code(role: FilterRole) -> u32 {
+    match role {
+        FilterRole::Leaf => 0,
+        FilterRole::Edge => 1,
+        FilterRole::Aggregate => 2,
+    }
+}
+
+/// Decodes a [`FilterRole`] wire code; unknown values are rejected
+/// like [`LogSinkMode`]'s — silently mis-placing a filter in the tree
+/// would corrupt a measurement session.
+fn role_from_code(code: u32) -> Result<FilterRole, ProtoError> {
+    match code {
+        0 => Ok(FilterRole::Leaf),
+        1 => Ok(FilterRole::Edge),
+        2 => Ok(FilterRole::Aggregate),
+        other => Err(ProtoError::new(format!("unknown filter role {other}"))),
+    }
+}
+
+/// Marks a [`FilterSpec`] body as versioned. The first `u32` of a
+/// legacy (v0) `CreateFilter` body is the filterfile's string length,
+/// which the frame-size cap bounds far below `u32::MAX` — so this
+/// sentinel can never be mistaken for a v0 body, and a v0 body can
+/// never be mistaken for a versioned one.
+const SPEC_TAG: u32 = 0xFFFF_FFFF;
+
+/// The current [`FilterSpec`] wire version.
+pub const FILTER_SPEC_VERSION: u32 = 1;
+
+/// Everything a meterdaemon needs to spawn a filter — the structured,
+/// versioned replacement for `CreateFilter`'s seven positional wire
+/// fields.
+///
+/// Construct specs with [`FilterSpec::builder`], which validates the
+/// cross-field rules (an edge needs an upstream, a leaf/aggregate
+/// needs a log, addresses must parse) before anything hits the wire.
+///
+/// On the wire the body is `SPEC_TAG, version, fields…`; decoding
+/// rejects unknown versions, log-sink modes, and roles outright (like
+/// [`LogSinkMode`] always has), while a body *without* the tag is
+/// decoded as the legacy v0 positional layout — so a pre-upgrade
+/// request replayed from a controller's retry buffer (or answered from
+/// the daemon's reply cache) still works.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterSpec {
+    /// Executable file of the filter on the daemon's machine.
+    pub filterfile: String,
+    /// Port the filter will listen on for meter/record connections.
+    pub port: u16,
+    /// Log file path (text) or store prefix (store) on the filter's
+    /// machine; empty for edges, which keep no log.
+    pub logfile: String,
+    /// Descriptions file path.
+    pub descriptions: String,
+    /// Templates (selection rules) file path.
+    pub templates: String,
+    /// How many selection shards the filter should run (≥ 1). One
+    /// shard reproduces the classic single-engine filter.
+    pub shards: u32,
+    /// Where accepted records go: the text log or the binary store.
+    pub log_mode: LogSinkMode,
+    /// The filter's place in the tree.
+    pub role: FilterRole,
+    /// Upstream `host:port` (edges always, aggregates optionally);
+    /// empty when there is no upstream.
+    pub upstream: String,
+}
+
+impl FilterSpec {
+    /// Starts building a spec for `filterfile` listening on `port`.
+    #[must_use]
+    pub fn builder(filterfile: impl Into<String>, port: u16) -> FilterSpecBuilder {
+        FilterSpecBuilder {
+            spec: FilterSpec {
+                filterfile: filterfile.into(),
+                port,
+                logfile: String::new(),
+                descriptions: "descriptions".to_owned(),
+                templates: "templates".to_owned(),
+                shards: 1,
+                log_mode: LogSinkMode::Text,
+                role: FilterRole::Leaf,
+                upstream: String::new(),
+            },
+        }
+    }
+
+    /// The spec as the shared [`FilterArgs`] the filter program
+    /// parses. Shard counts are clamped to ≥ 1 here because legacy v0
+    /// bodies could carry 0.
+    #[must_use]
+    pub fn to_filter_args(&self) -> FilterArgs {
+        FilterArgs {
+            port: self.port,
+            logfile: self.logfile.clone(),
+            descriptions: self.descriptions.clone(),
+            templates: self.templates.clone(),
+            shards: self.shards.max(1),
+            store_log: self.log_mode == LogSinkMode::Store,
+            role: self.role,
+            upstream: self.upstream.clone(),
+        }
+    }
+
+    /// The argument vector the daemon passes when spawning the filter
+    /// program.
+    ///
+    /// Plain leaf filters keep the pre-tree positional argv — §3.4
+    /// lets users substitute their own filter program, and existing
+    /// ones parse their arguments by position. Tree roles (and leaves
+    /// with an upstream) get the keyword form, which only the shared
+    /// [`FilterArgs`] parser understands.
+    #[must_use]
+    pub fn to_program_args(&self) -> Vec<String> {
+        let fa = self.to_filter_args();
+        if fa.role == FilterRole::Leaf && fa.upstream.is_empty() {
+            return vec![
+                fa.port.to_string(),
+                fa.logfile.clone(),
+                fa.descriptions.clone(),
+                fa.templates.clone(),
+                fa.shards.to_string(),
+                if fa.store_log { "store" } else { "text" }.to_owned(),
+            ];
+        }
+        fa.to_args()
+    }
+
+    /// The upstream address parsed, when one is set.
+    #[must_use]
+    pub fn upstream_addr(&self) -> Option<(String, u16)> {
+        self.to_filter_args().upstream_addr()
+    }
+
+    fn encode_body(&self, w: &mut W) {
+        w.u32(SPEC_TAG);
+        w.u32(FILTER_SPEC_VERSION);
+        w.str(&self.filterfile);
+        w.u32(self.port as u32);
+        w.str(&self.logfile);
+        w.str(&self.descriptions);
+        w.str(&self.templates);
+        w.u32(self.shards);
+        w.u32(self.log_mode.code());
+        w.u32(role_code(self.role));
+        w.str(&self.upstream);
+    }
+
+    fn decode_body(r: &mut R<'_>) -> Result<FilterSpec, ProtoError> {
+        let probe = r.u32()?;
+        if probe != SPEC_TAG {
+            // Legacy v0: the probe was the filterfile's string length.
+            r.pos -= 4;
+            return Ok(FilterSpec {
+                filterfile: r.str()?,
+                port: r.u32()? as u16,
+                logfile: r.str()?,
+                descriptions: r.str()?,
+                templates: r.str()?,
+                shards: r.u32()?,
+                log_mode: LogSinkMode::from_code(r.u32()?)?,
+                role: FilterRole::Leaf,
+                upstream: String::new(),
+            });
+        }
+        let version = r.u32()?;
+        if version != FILTER_SPEC_VERSION {
+            return Err(ProtoError::new(format!(
+                "unknown filter spec version {version}"
+            )));
+        }
+        Ok(FilterSpec {
+            filterfile: r.str()?,
+            port: r.u32()? as u16,
+            logfile: r.str()?,
+            descriptions: r.str()?,
+            templates: r.str()?,
+            shards: r.u32()?,
+            log_mode: LogSinkMode::from_code(r.u32()?)?,
+            role: role_from_code(r.u32()?)?,
+            upstream: r.str()?,
+        })
+    }
+}
+
+/// Builds a [`FilterSpec`], validating at [`FilterSpecBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct FilterSpecBuilder {
+    spec: FilterSpec,
+}
+
+impl FilterSpecBuilder {
+    /// Log file path (text) or store prefix (store).
+    #[must_use]
+    pub fn logfile(mut self, path: impl Into<String>) -> Self {
+        self.spec.logfile = path.into();
+        self
+    }
+
+    /// Descriptions file path (default `descriptions`).
+    #[must_use]
+    pub fn descriptions(mut self, path: impl Into<String>) -> Self {
+        self.spec.descriptions = path.into();
+        self
+    }
+
+    /// Templates file path (default `templates`).
+    #[must_use]
+    pub fn templates(mut self, path: impl Into<String>) -> Self {
+        self.spec.templates = path.into();
+        self
+    }
+
+    /// Shard count (default 1).
+    #[must_use]
+    pub fn shards(mut self, n: u32) -> Self {
+        self.spec.shards = n;
+        self
+    }
+
+    /// Log sink mode (default text).
+    #[must_use]
+    pub fn log_mode(mut self, mode: LogSinkMode) -> Self {
+        self.spec.log_mode = mode;
+        self
+    }
+
+    /// Tree role (default leaf).
+    #[must_use]
+    pub fn role(mut self, role: FilterRole) -> Self {
+        self.spec.role = role;
+        self
+    }
+
+    /// Upstream `host:port`.
+    #[must_use]
+    pub fn upstream(mut self, addr: impl Into<String>) -> Self {
+        self.spec.upstream = addr.into();
+        self
+    }
+
+    /// Validates the cross-field rules and yields the spec.
+    ///
+    /// # Errors
+    ///
+    /// A [`ProtoError`] naming the missing/bad field: a zero port or
+    /// shard count, an edge without an upstream, a leaf or aggregate
+    /// without a log, or an unparseable upstream address.
+    pub fn build(self) -> Result<FilterSpec, ProtoError> {
+        if self.spec.shards == 0 {
+            return Err(ProtoError::new("filter spec: shard count must be >= 1"));
+        }
+        self.spec
+            .to_filter_args()
+            .validate()
+            .map_err(|e| ProtoError::new(format!("filter spec: {e}")))?;
+        Ok(self.spec)
+    }
+}
+
 /// A request sent from the controller to a meterdaemon (or, for the
 /// last two variants, from a daemon to a controller).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -248,22 +511,9 @@ pub enum Request {
     },
     /// `12`: create a filter process (runs immediately).
     CreateFilter {
-        /// Executable file of the filter.
-        filterfile: String,
-        /// Port the filter will listen on for meter connections.
-        port: u16,
-        /// Log file path on the filter's machine.
-        logfile: String,
-        /// Descriptions file path.
-        descriptions: String,
-        /// Templates (selection rules) file path.
-        templates: String,
-        /// How many selection shards the filter should run (≥ 1). One
-        /// shard reproduces the classic single-engine filter.
-        shards: u32,
-        /// Where accepted records go: the text log or the binary
-        /// log store.
-        log_mode: LogSinkMode,
+        /// What to spawn, where it listens, where its records go, and
+        /// its place in the filter tree — see [`FilterSpec`].
+        spec: FilterSpec,
     },
     /// `13`: replace a process's meter flags.
     SetFlags {
@@ -561,22 +811,8 @@ impl Request {
                 w.u32(*redirect_io as u32);
                 w.str(stdin_file.as_deref().unwrap_or(""));
             }
-            Request::CreateFilter {
-                filterfile,
-                port,
-                logfile,
-                descriptions,
-                templates,
-                shards,
-                log_mode,
-            } => {
-                w.str(filterfile);
-                w.u32(*port as u32);
-                w.str(logfile);
-                w.str(descriptions);
-                w.str(templates);
-                w.u32(*shards);
-                w.u32(log_mode.code());
+            Request::CreateFilter { spec } => {
+                spec.encode_body(&mut w);
             }
             Request::SetFlags { pid, flags } => {
                 w.u32(pid.0);
@@ -676,13 +912,7 @@ impl Request {
                 }
             }
             msg_type::CREATE_FILTER => Request::CreateFilter {
-                filterfile: r.str()?,
-                port: r.u32()? as u16,
-                logfile: r.str()?,
-                descriptions: r.str()?,
-                templates: r.str()?,
-                shards: r.u32()?,
-                log_mode: LogSinkMode::from_code(r.u32()?)?,
+                spec: FilterSpec::decode_body(&mut r)?,
             },
             msg_type::SET_FLAGS => Request::SetFlags {
                 pid: Pid(r.u32()?),
@@ -877,22 +1107,27 @@ mod tests {
         let f = MeterFlags::ALL;
         let reqs = vec![
             Request::CreateFilter {
-                filterfile: "/bin/filter".into(),
-                port: 4001,
-                logfile: "/usr/tmp/f1".into(),
-                descriptions: "descriptions".into(),
-                templates: "templates".into(),
-                shards: 4,
-                log_mode: LogSinkMode::Text,
+                spec: FilterSpec::builder("/bin/filter", 4001)
+                    .logfile("/usr/tmp/f1")
+                    .shards(4)
+                    .build()
+                    .unwrap(),
             },
             Request::CreateFilter {
-                filterfile: "/bin/filter".into(),
-                port: 4002,
-                logfile: "/usr/tmp/f2".into(),
-                descriptions: "descriptions".into(),
-                templates: "templates".into(),
-                shards: 2,
-                log_mode: LogSinkMode::Store,
+                spec: FilterSpec::builder("/bin/filter", 4002)
+                    .logfile("/usr/tmp/f2")
+                    .shards(2)
+                    .log_mode(LogSinkMode::Store)
+                    .role(FilterRole::Aggregate)
+                    .build()
+                    .unwrap(),
+            },
+            Request::CreateFilter {
+                spec: FilterSpec::builder("/bin/filter", 4003)
+                    .role(FilterRole::Edge)
+                    .upstream("blue:4002")
+                    .build()
+                    .unwrap(),
             },
             Request::SetFlags {
                 pid: Pid(7),
@@ -988,13 +1223,11 @@ mod tests {
         // the same id across re-encodes (the retry path depends on
         // byte-identical retransmissions).
         let inner = Request::CreateFilter {
-            filterfile: "/bin/filter".into(),
-            port: 4001,
-            logfile: "/usr/tmp/f1".into(),
-            descriptions: "descriptions".into(),
-            templates: "templates".into(),
-            shards: 1,
-            log_mode: LogSinkMode::Store,
+            spec: FilterSpec::builder("/bin/filter", 4001)
+                .logfile("/usr/tmp/f1")
+                .log_mode(LogSinkMode::Store)
+                .build()
+                .unwrap(),
         };
         let tagged = Request::Tagged {
             req_id: 42,
@@ -1080,22 +1313,168 @@ mod tests {
         assert_eq!(LogSinkMode::Store.as_arg(), "store");
         assert_eq!(LogSinkMode::Text.to_string(), "text");
         // A CreateFilter with a garbage mode is rejected, not guessed.
+        // v1 body tail (empty upstream): …, mode, role, upstream-len.
         let mut wire = Request::CreateFilter {
-            filterfile: "f".into(),
-            port: 1,
-            logfile: "l".into(),
-            descriptions: "d".into(),
-            templates: "t".into(),
-            shards: 1,
-            log_mode: LogSinkMode::Store,
+            spec: FilterSpec::builder("f", 1)
+                .logfile("l")
+                .descriptions("d")
+                .templates("t")
+                .log_mode(LogSinkMode::Store)
+                .build()
+                .unwrap(),
         }
         .encode();
         let n = wire.len();
-        wire[n - 4..].copy_from_slice(&9u32.to_le_bytes());
+        wire[n - 12..n - 8].copy_from_slice(&9u32.to_le_bytes());
         assert!(Request::decode(&wire)
             .unwrap_err()
             .to_string()
             .contains("log sink mode"));
+    }
+
+    /// Encodes the pre-FilterSpec (v0) CreateFilter body: seven
+    /// positional fields, no version tag — what an un-upgraded
+    /// controller still sends.
+    fn legacy_v0_create_filter_wire() -> Vec<u8> {
+        let mut w = W::new(msg_type::CREATE_FILTER);
+        w.str("/bin/filter");
+        w.u32(4001);
+        w.str("/usr/tmp/f1");
+        w.str("descriptions");
+        w.str("templates");
+        w.u32(0); // v0 senders could say 0; the daemon clamped to 1
+        w.u32(LogSinkMode::Store.code());
+        w.finish()
+    }
+
+    #[test]
+    fn legacy_v0_create_filter_still_decodes() {
+        let wire = legacy_v0_create_filter_wire();
+        match Request::decode(&wire).unwrap() {
+            Request::CreateFilter { spec } => {
+                assert_eq!(spec.filterfile, "/bin/filter");
+                assert_eq!(spec.port, 4001);
+                assert_eq!(spec.logfile, "/usr/tmp/f1");
+                assert_eq!(spec.log_mode, LogSinkMode::Store);
+                assert_eq!(spec.role, FilterRole::Leaf, "v0 is always a leaf");
+                assert_eq!(spec.upstream, "");
+                assert_eq!(spec.shards, 0);
+                assert_eq!(
+                    spec.to_filter_args().shards,
+                    1,
+                    "program args clamp the v0 zero"
+                );
+            }
+            other => panic!("decoded {other:?}"),
+        }
+        // The same body wrapped in a Tagged retry decodes too — a
+        // replayed pre-upgrade request must hit the reply cache, not a
+        // decode error.
+        let mut w = W::new(msg_type::TAGGED);
+        w.u64(0xFEED_0042);
+        w.bytes(&legacy_v0_create_filter_wire());
+        let tagged = w.finish();
+        match Request::decode(&tagged).unwrap() {
+            Request::Tagged { req_id, inner } => {
+                assert_eq!(req_id, 0xFEED_0042);
+                assert!(matches!(*inner, Request::CreateFilter { .. }));
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn filter_spec_v1_round_trips_and_rejects_garbage() {
+        let spec = FilterSpec::builder("/bin/filter", 4700)
+            .logfile("/usr/tmp/log.root")
+            .log_mode(LogSinkMode::Store)
+            .role(FilterRole::Aggregate)
+            .upstream("hub:4900")
+            .shards(3)
+            .build()
+            .unwrap();
+        let req = Request::CreateFilter { spec: spec.clone() };
+        let wire = req.encode();
+        assert_eq!(Request::decode(&wire).unwrap(), req);
+        // Body layout: tag at 8..12, version at 12..16.
+        assert_eq!(&wire[8..12], &SPEC_TAG.to_le_bytes());
+        assert_eq!(&wire[12..16], &FILTER_SPEC_VERSION.to_le_bytes());
+
+        // Unknown version: rejected with the version named.
+        let mut bad = wire.clone();
+        bad[12..16].copy_from_slice(&99u32.to_le_bytes());
+        let err = Request::decode(&bad).unwrap_err().to_string();
+        assert!(err.contains("unknown filter spec version 99"), "{err}");
+
+        // Garbage role: rejected, not guessed. Tail (upstream
+        // "hub:4900", 8 bytes): …, role, upstream-len, upstream.
+        let n = wire.len();
+        let mut bad = wire.clone();
+        bad[n - 16..n - 12].copy_from_slice(&7u32.to_le_bytes());
+        let err = Request::decode(&bad).unwrap_err().to_string();
+        assert!(err.contains("unknown filter role 7"), "{err}");
+    }
+
+    #[test]
+    fn filter_spec_builder_validates() {
+        // An edge without an upstream is unusable.
+        let err = FilterSpec::builder("/bin/filter", 4000)
+            .role(FilterRole::Edge)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("upstream"), "{err}");
+        // A leaf (or aggregate) without a log has nowhere to write.
+        let err = FilterSpec::builder("/bin/filter", 4000)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("log"), "{err}");
+        // Upstream addresses must parse as host:port.
+        let err = FilterSpec::builder("/bin/filter", 4000)
+            .role(FilterRole::Edge)
+            .upstream("nocolon")
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("upstream"), "{err}");
+        // Zero shards never made sense; the builder says so now.
+        let err = FilterSpec::builder("/bin/filter", 4000)
+            .logfile("l")
+            .shards(0)
+            .build()
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("shard"), "{err}");
+        // Edges legitimately have no log.
+        let spec = FilterSpec::builder("/bin/filter", 4000)
+            .role(FilterRole::Edge)
+            .upstream("blue:4001")
+            .build()
+            .unwrap();
+        assert_eq!(spec.upstream_addr(), Some(("blue".to_owned(), 4001)));
+        assert!(spec.logfile.is_empty());
+        // The program args honor the keyword grammar end to end.
+        let args = spec.to_program_args();
+        assert!(args.contains(&"role=edge".to_owned()), "{args:?}");
+        assert!(args.contains(&"upstream=blue:4001".to_owned()), "{args:?}");
+    }
+
+    #[test]
+    fn leaf_specs_spawn_with_the_positional_argv() {
+        // User-written filters (§3.4) parse their argv by position, so
+        // plain leaves must keep the pre-tree layout.
+        let spec = FilterSpec::builder("/bin/filter", 4000)
+            .logfile("/usr/tmp/log.f1")
+            .build()
+            .unwrap();
+        let args = spec.to_program_args();
+        assert_eq!(args[0], "4000");
+        assert_eq!(args[1], "/usr/tmp/log.f1");
+        assert!(
+            args.iter().all(|a| !a.contains('=')),
+            "leaf argv stays positional: {args:?}"
+        );
     }
 
     #[test]

@@ -78,13 +78,10 @@ fn start_filter(p: &Proc) -> SysResult<Pid> {
         p,
         "blue",
         &Request::CreateFilter {
-            filterfile: "/bin/filter".into(),
-            port: 4000,
-            logfile: "/usr/tmp/log.f1".into(),
-            descriptions: "descriptions".into(),
-            templates: "templates".into(),
-            shards: 1,
-            log_mode: dpm_meterd::LogSinkMode::Text,
+            spec: dpm_meterd::FilterSpec::builder("/bin/filter", 4000)
+                .logfile("/usr/tmp/log.f1")
+                .build()
+                .expect("valid spec"),
         },
     )?;
     match rep {
@@ -331,13 +328,10 @@ fn retried_tagged_requests_are_applied_once() {
         let req = Request::Tagged {
             req_id: 0xFEED_0001,
             inner: Box::new(Request::CreateFilter {
-                filterfile: "/bin/filter".into(),
-                port: 4000,
-                logfile: "/usr/tmp/log.f1".into(),
-                descriptions: "descriptions".into(),
-                templates: "templates".into(),
-                shards: 1,
-                log_mode: dpm_meterd::LogSinkMode::Text,
+                spec: dpm_meterd::FilterSpec::builder("/bin/filter", 4000)
+                    .logfile("/usr/tmp/log.f1")
+                    .build()
+                    .expect("valid spec"),
             }),
         };
         let first = rpc_call(p, "blue", &req)?;

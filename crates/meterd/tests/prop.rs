@@ -57,20 +57,44 @@ fn arb_request() -> impl Strategy<Value = Request> {
             arb_string(),
             1u32..16,
             any::<bool>(),
+            0u32..3,
+            arb_string(),
         )
             .prop_map(
-                |(filterfile, port, logfile, descriptions, templates, shards, store)| {
+                |(
+                    filterfile,
+                    port,
+                    logfile,
+                    descriptions,
+                    templates,
+                    shards,
+                    store,
+                    role,
+                    upstream,
+                )| {
+                    // Direct struct construction on purpose: the wire
+                    // codec must round-trip any field combination, not
+                    // only the ones the builder's cross-field
+                    // validation would allow.
                     Request::CreateFilter {
-                        filterfile,
-                        port,
-                        logfile,
-                        descriptions,
-                        templates,
-                        shards,
-                        log_mode: if store {
-                            dpm_meterd::LogSinkMode::Store
-                        } else {
-                            dpm_meterd::LogSinkMode::Text
+                        spec: dpm_meterd::FilterSpec {
+                            filterfile,
+                            port,
+                            logfile,
+                            descriptions,
+                            templates,
+                            shards,
+                            log_mode: if store {
+                                dpm_meterd::LogSinkMode::Store
+                            } else {
+                                dpm_meterd::LogSinkMode::Text
+                            },
+                            role: match role {
+                                0 => dpm_filter::FilterRole::Leaf,
+                                1 => dpm_filter::FilterRole::Edge,
+                                _ => dpm_filter::FilterRole::Aggregate,
+                            },
+                            upstream,
                         },
                     }
                 }

@@ -3,7 +3,9 @@
 //! The measurement system itself must be measurable: the E1/E2 benches
 //! (metering overhead, buffering) need to know how many frames and
 //! bytes actually crossed the simulated wire, including the meter
-//! traffic the monitor adds.
+//! traffic the monitor adds. The `cross_*` counters separate traffic
+//! that actually left its machine from local loopback traffic — the
+//! quantity edge pre-filters exist to reduce (E9).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,6 +21,10 @@ pub struct WireStats {
     datagrams_lost: AtomicU64,
     meter_frames: AtomicU64,
     meter_bytes: AtomicU64,
+    cross_frames: AtomicU64,
+    cross_bytes: AtomicU64,
+    cross_meter_frames: AtomicU64,
+    cross_meter_bytes: AtomicU64,
 }
 
 /// A point-in-time copy of [`WireStats`].
@@ -34,6 +40,14 @@ pub struct WireSnapshot {
     pub meter_frames: u64,
     /// Payload bytes that were meter messages.
     pub meter_bytes: u64,
+    /// Frames whose sender and receiver were on different machines.
+    pub cross_frames: u64,
+    /// Payload bytes that crossed a machine boundary.
+    pub cross_bytes: u64,
+    /// Meter frames that crossed a machine boundary.
+    pub cross_meter_frames: u64,
+    /// Meter payload bytes that crossed a machine boundary.
+    pub cross_meter_bytes: u64,
 }
 
 impl WireStats {
@@ -42,18 +56,28 @@ impl WireStats {
         WireStats::default()
     }
 
-    /// Records an application frame of `len` payload bytes.
-    pub fn record_frame(&self, len: usize) {
+    /// Records an application frame of `len` payload bytes; `cross`
+    /// says whether it left its machine (vs. loopback).
+    pub fn record_frame(&self, len: usize, cross: bool) {
         self.frames.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(len as u64, Ordering::Relaxed);
+        if cross {
+            self.cross_frames.fetch_add(1, Ordering::Relaxed);
+            self.cross_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        }
     }
 
     /// Records a meter-connection frame of `len` payload bytes.
     /// Also counted in the aggregate frame/byte totals.
-    pub fn record_meter_frame(&self, len: usize) {
-        self.record_frame(len);
+    pub fn record_meter_frame(&self, len: usize, cross: bool) {
+        self.record_frame(len, cross);
         self.meter_frames.fetch_add(1, Ordering::Relaxed);
         self.meter_bytes.fetch_add(len as u64, Ordering::Relaxed);
+        if cross {
+            self.cross_meter_frames.fetch_add(1, Ordering::Relaxed);
+            self.cross_meter_bytes
+                .fetch_add(len as u64, Ordering::Relaxed);
+        }
     }
 
     /// Records a datagram dropped by the loss model.
@@ -69,6 +93,10 @@ impl WireStats {
             datagrams_lost: self.datagrams_lost.load(Ordering::Relaxed),
             meter_frames: self.meter_frames.load(Ordering::Relaxed),
             meter_bytes: self.meter_bytes.load(Ordering::Relaxed),
+            cross_frames: self.cross_frames.load(Ordering::Relaxed),
+            cross_bytes: self.cross_bytes.load(Ordering::Relaxed),
+            cross_meter_frames: self.cross_meter_frames.load(Ordering::Relaxed),
+            cross_meter_bytes: self.cross_meter_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -87,6 +115,10 @@ impl WireSnapshot {
             datagrams_lost: self.datagrams_lost - earlier.datagrams_lost,
             meter_frames: self.meter_frames - earlier.meter_frames,
             meter_bytes: self.meter_bytes - earlier.meter_bytes,
+            cross_frames: self.cross_frames - earlier.cross_frames,
+            cross_bytes: self.cross_bytes - earlier.cross_bytes,
+            cross_meter_frames: self.cross_meter_frames - earlier.cross_meter_frames,
+            cross_meter_bytes: self.cross_meter_bytes - earlier.cross_meter_bytes,
         }
     }
 
@@ -108,9 +140,9 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let s = WireStats::new();
-        s.record_frame(100);
-        s.record_frame(50);
-        s.record_meter_frame(60);
+        s.record_frame(100, true);
+        s.record_frame(50, false);
+        s.record_meter_frame(60, true);
         s.record_loss();
         let snap = s.snapshot();
         assert_eq!(snap.frames, 3);
@@ -118,27 +150,33 @@ mod tests {
         assert_eq!(snap.meter_frames, 1);
         assert_eq!(snap.meter_bytes, 60);
         assert_eq!(snap.datagrams_lost, 1);
+        assert_eq!(snap.cross_frames, 2);
+        assert_eq!(snap.cross_bytes, 160);
+        assert_eq!(snap.cross_meter_frames, 1);
+        assert_eq!(snap.cross_meter_bytes, 60);
     }
 
     #[test]
     fn since_subtracts() {
         let s = WireStats::new();
-        s.record_frame(10);
+        s.record_frame(10, false);
         let a = s.snapshot();
-        s.record_meter_frame(20);
+        s.record_meter_frame(20, true);
         let b = s.snapshot();
         let d = b.since(&a);
         assert_eq!(d.frames, 1);
         assert_eq!(d.bytes, 20);
         assert_eq!(d.meter_bytes, 20);
+        assert_eq!(d.cross_bytes, 20);
+        assert_eq!(d.cross_meter_bytes, 20);
     }
 
     #[test]
     fn meter_fraction() {
         let s = WireStats::new();
         assert_eq!(s.snapshot().meter_byte_fraction(), 0.0);
-        s.record_frame(75);
-        s.record_meter_frame(25);
+        s.record_frame(75, false);
+        s.record_meter_frame(25, true);
         let f = s.snapshot().meter_byte_fraction();
         assert!((f - 0.25).abs() < 1e-9);
     }

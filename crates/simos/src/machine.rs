@@ -807,7 +807,9 @@ impl Machine {
     /// latency sample; the filter's sequence-number dedup must absorb
     /// the duplicate copy.
     pub(crate) fn deliver_meter(&self, cluster: &Arc<Cluster>, plan: FlushPlan) {
-        cluster.stats.record_meter_frame(plan.bytes.len());
+        cluster
+            .stats
+            .record_meter_frame(plan.bytes.len(), plan.peer.host != self.id());
         if let Some(m) = cluster.machine_by_id(plan.peer.host) {
             let dup = cluster.dup_meter_flush(self.id(), plan.peer.host, plan.visible_at_us);
             if dup {

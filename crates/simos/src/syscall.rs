@@ -861,7 +861,9 @@ impl Proc {
         self.finish(plans);
         match out {
             Out::Stream { peer, visible } => {
-                cluster.stats.record_frame(data.len());
+                cluster
+                    .stats
+                    .record_frame(data.len(), peer.host != self.machine.id());
                 let delivered = cluster
                     .machine_by_id(peer.host)
                     .map(|m| m.deliver_segment(peer.sock, data.to_vec(), visible))
@@ -936,7 +938,9 @@ impl Proc {
             let k = self.machine.kern.lock();
             k.socks.get(&sid).and_then(|s| s.name.clone())
         };
-        cluster.stats.record_frame(data.len());
+        cluster
+            .stats
+            .record_frame(data.len(), dst_machine.id() != self.machine.id());
         // The fault injector resolves the send into zero (lost), one,
         // or two (duplicated) deliveries; absent an injected fault the
         // random loss/latency model decides as before.
