@@ -18,7 +18,7 @@ use crate::trace::{ProcKey, Trace};
 use std::collections::HashMap;
 
 /// The happens-before relation over a trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct HappensBefore {
     /// Successor lists: `succs[i]` are events directly after event `i`
     /// (same-process successor and message edges).

@@ -53,7 +53,7 @@ pub use critical::{CriticalPath, PathStep};
 pub use debugging::{BlockedReceive, DebugReport, Unterminated};
 pub use hb::HappensBefore;
 pub use merge::{merge_logs, merge_traces};
-pub use pairing::{Connection, MatchedMessage, Pairing};
+pub use pairing::{host_of, Connection, MatchedMessage, PairQueues, Pairing};
 pub use parallelism::{BusySlice, ParallelismReport};
 pub use properties::{ByzReport, CsInterval, LinkFaults, MutexReport};
 pub use stats::{CommStats, OffsetEstimate, ProcStats, SizeHistogram};

@@ -79,8 +79,22 @@ pub struct Pairing {
 impl Pairing {
     /// Runs connection pairing and message matching over a trace.
     pub fn analyze(trace: &Trace) -> Pairing {
+        let mut queues = PairQueues::default();
+        for ev in &trace.events {
+            queues.add(ev);
+        }
+        Pairing::from_queues(trace, &queues)
+    }
+
+    /// Runs pairing over a trace whose pass-1 queues were already
+    /// collected (incrementally, by a live consumer). This is the
+    /// *same* code path [`Pairing::analyze`] takes — `analyze` builds
+    /// the queues in one sweep and calls here — so a queue set grown
+    /// one event at a time yields a bit-identical pairing at any
+    /// prefix.
+    pub fn from_queues(trace: &Trace, queues: &PairQueues) -> Pairing {
         let connections = pair_connections(trace);
-        let (messages, unmatched_sends, unmatched_recvs) = match_messages(trace, &connections);
+        let (messages, unmatched_sends, unmatched_recvs) = match_messages(queues, &connections);
         Pairing {
             connections,
             messages,
@@ -141,16 +155,92 @@ fn pair_connections(trace: &Trace) -> Vec<Connection> {
     out
 }
 
-struct SendRec {
+/// One queued message endpoint record: the trace index, the process
+/// on this side of the channel, and the payload length in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueuedMsg {
     idx: usize,
-    from: ProcKey,
-    remaining: u32,
+    proc: ProcKey,
+    len: u32,
 }
 
-struct RecvRec {
-    idx: usize,
-    to: ProcKey,
-    remaining: u32,
+/// Pass-1 state of message matching: per-channel FIFO queues of send
+/// and receive events. The queues are **append-only** — `add` folds
+/// one event in O(1) — so a live consumer can grow them as records
+/// arrive and ask for a full [`Pairing`] at any point via
+/// [`Pairing::from_queues`]. Matching itself (pass 2) works on local
+/// copies and never mutates the queues.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairQueues {
+    /// Stream sends by (sender process, socket id).
+    stream_sends: HashMap<(ProcKey, u32), Vec<QueuedMsg>>,
+    /// Stream receives by (receiver process, socket id).
+    stream_recvs: HashMap<(ProcKey, u32), Vec<QueuedMsg>>,
+    /// Datagram sends by (sender process, destination name).
+    dgram_sends: HashMap<(ProcKey, String), Vec<QueuedMsg>>,
+    /// Datagram receives by (receiver process, source name).
+    dgram_recvs: HashMap<(ProcKey, String), Vec<QueuedMsg>>,
+    /// Every send event's trace index, in trace order.
+    all_sends: Vec<usize>,
+}
+
+impl PairQueues {
+    /// Folds one trace event into the queues. Events must be offered
+    /// in trace order (matching relies on queue order being trace
+    /// order); non-message events are ignored.
+    pub fn add(&mut self, ev: &Event) {
+        match &ev.kind {
+            EventKind::Send { len, dest } => {
+                self.all_sends.push(ev.idx);
+                let rec = QueuedMsg {
+                    idx: ev.idx,
+                    proc: ev.proc,
+                    len: *len,
+                };
+                match dest {
+                    Some(name) => self
+                        .dgram_sends
+                        .entry((ev.proc, name.clone()))
+                        .or_default()
+                        .push(rec),
+                    None => {
+                        let Some(sock) = ev.sock else { return };
+                        self.stream_sends
+                            .entry((ev.proc, sock))
+                            .or_default()
+                            .push(rec);
+                    }
+                }
+            }
+            EventKind::Recv { len, source } => {
+                let rec = QueuedMsg {
+                    idx: ev.idx,
+                    proc: ev.proc,
+                    len: *len,
+                };
+                match source {
+                    Some(name) => self
+                        .dgram_recvs
+                        .entry((ev.proc, name.clone()))
+                        .or_default()
+                        .push(rec),
+                    None => {
+                        let Some(sock) = ev.sock else { return };
+                        self.stream_recvs
+                            .entry((ev.proc, sock))
+                            .or_default()
+                            .push(rec);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Number of send events queued so far.
+    pub fn n_sends(&self) -> usize {
+        self.all_sends.len()
+    }
 }
 
 /// Matches sends to receives. Crucially this is **order-insensitive
@@ -160,7 +250,7 @@ struct RecvRec {
 /// before the send that caused it. Within one process, log order is
 /// reliable (one ordered stream), which is all FIFO matching needs.
 fn match_messages(
-    trace: &Trace,
+    queues: &PairQueues,
     connections: &[Connection],
 ) -> (Vec<MatchedMessage>, Vec<usize>, Vec<usize>) {
     // Stream endpoints pair through the recovered connections.
@@ -170,89 +260,47 @@ fn match_messages(
         peer_of.insert(c.server, c.client);
     }
 
-    // Pass 1: collect per-channel FIFO queues.
-    let mut stream_sends: HashMap<(ProcKey, u32), Vec<SendRec>> = HashMap::new();
-    let mut stream_recvs: HashMap<(ProcKey, u32), Vec<RecvRec>> = HashMap::new();
-    // Datagram sends grouped by (sender process, destination name);
-    // datagram receives by (receiver process, source name).
-    let mut dgram_sends: HashMap<(ProcKey, String), Vec<SendRec>> = HashMap::new();
-    let mut dgram_recvs: HashMap<(ProcKey, String), Vec<RecvRec>> = HashMap::new();
-    let mut all_sends: Vec<usize> = Vec::new();
-
-    for ev in &trace.events {
-        match &ev.kind {
-            EventKind::Send { len, dest } => {
-                all_sends.push(ev.idx);
-                let rec = SendRec {
-                    idx: ev.idx,
-                    from: ev.proc,
-                    remaining: *len,
-                };
-                match dest {
-                    Some(name) => dgram_sends
-                        .entry((ev.proc, name.clone()))
-                        .or_default()
-                        .push(rec),
-                    None => {
-                        let Some(sock) = ev.sock else { continue };
-                        stream_sends.entry((ev.proc, sock)).or_default().push(rec);
-                    }
-                }
-            }
-            EventKind::Recv { len, source } => {
-                let rec = RecvRec {
-                    idx: ev.idx,
-                    to: ev.proc,
-                    remaining: *len,
-                };
-                match source {
-                    Some(name) => dgram_recvs
-                        .entry((ev.proc, name.clone()))
-                        .or_default()
-                        .push(rec),
-                    None => {
-                        let Some(sock) = ev.sock else { continue };
-                        stream_recvs.entry((ev.proc, sock)).or_default().push(rec);
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-
     let mut matches: Vec<MatchedMessage> = Vec::new();
     let mut matched: std::collections::HashSet<usize> = std::collections::HashSet::new();
 
     // Pass 2a: streams — merge the sender queue into the paired
-    // receiver queue, splitting bytes across read boundaries.
-    let mut recv_endpoints: Vec<(ProcKey, u32)> = stream_recvs.keys().copied().collect();
+    // receiver queue, splitting bytes across read boundaries. The
+    // byte-consumption state lives in local copies so the queues stay
+    // immutable (and reusable for the next incremental call).
+    let mut send_left: HashMap<(ProcKey, u32), Vec<(QueuedMsg, u32)>> = queues
+        .stream_sends
+        .iter()
+        .map(|(k, v)| (*k, v.iter().map(|s| (*s, s.len)).collect()))
+        .collect();
+    let mut recv_endpoints: Vec<(ProcKey, u32)> = queues.stream_recvs.keys().copied().collect();
     recv_endpoints.sort();
     for rx_ep in recv_endpoints {
         let Some(&tx_ep) = peer_of.get(&rx_ep) else {
             continue;
         };
-        let Some(sends) = stream_sends.get_mut(&tx_ep) else {
+        let Some(sends) = send_left.get_mut(&tx_ep) else {
             continue;
         };
-        let recvs = stream_recvs.get_mut(&rx_ep).expect("endpoint present");
+        let recvs = &queues.stream_recvs[&rx_ep];
         let mut si = 0;
-        for r in recvs.iter_mut() {
-            while r.remaining > 0 && si < sends.len() {
-                let s = &mut sends[si];
-                let take = s.remaining.min(r.remaining);
+        for r in recvs {
+            let mut r_remaining = r.len;
+            while r_remaining > 0 && si < sends.len() {
+                let (s, s_remaining) = &mut sends[si];
+                let take = (*s_remaining).min(r_remaining);
                 if take > 0 {
                     matches.push(MatchedMessage {
                         send_idx: s.idx,
                         recv_idx: r.idx,
-                        from: s.from,
-                        to: r.to,
+                        from: s.proc,
+                        to: r.proc,
                         bytes: take,
                     });
                     matched.insert(s.idx);
-                    s.remaining -= take;
-                    r.remaining -= take;
+                    *s_remaining -= take;
+                    r_remaining -= take;
                 }
-                if s.remaining == 0 {
+                if *s_remaining == 0 {
                     si += 1;
                 }
             }
@@ -275,12 +323,13 @@ fn match_messages(
     // really precede it. (The beacon convention in
     // `crate::properties` is built on exactly this guarantee.)
     let mut unmatched_recvs: Vec<usize> = Vec::new();
-    let mut recv_groups: Vec<(ProcKey, String)> = dgram_recvs.keys().cloned().collect();
+    let mut recv_groups: Vec<(ProcKey, String)> = queues.dgram_recvs.keys().cloned().collect();
     recv_groups.sort();
     for key in recv_groups {
         let (rx_proc, src_name) = &key;
         let src_host = host_of(src_name);
-        let mut candidates: Vec<(ProcKey, String)> = dgram_sends
+        let mut candidates: Vec<(ProcKey, String)> = queues
+            .dgram_sends
             .keys()
             .filter(|(tx_proc, dest)| {
                 (src_host.is_none() || Some(tx_proc.machine) == src_host)
@@ -292,24 +341,24 @@ fn match_messages(
         // One pooled sender-order list: within a process, trace order
         // is send order; across candidate groups order is arbitrary
         // anyway (distinct sockets), so trace order is as good as any.
-        let mut pool: Vec<&SendRec> = candidates
+        let mut pool: Vec<&QueuedMsg> = candidates
             .iter()
-            .flat_map(|cand| dgram_sends[cand].iter())
+            .flat_map(|cand| queues.dgram_sends[cand].iter())
             .collect();
         pool.sort_by_key(|s| s.idx);
-        let recvs = dgram_recvs.get(&key).expect("group present");
+        let recvs = &queues.dgram_recvs[&key];
         for r in recvs {
             let hit = pool
                 .iter()
-                .find(|s| !matched.contains(&s.idx) && s.remaining == r.remaining);
+                .find(|s| !matched.contains(&s.idx) && s.len == r.len);
             match hit {
                 Some(s) => {
                     matches.push(MatchedMessage {
                         send_idx: s.idx,
                         recv_idx: r.idx,
-                        from: s.from,
-                        to: r.to,
-                        bytes: r.remaining,
+                        from: s.proc,
+                        to: r.proc,
+                        bytes: r.len,
                     });
                     matched.insert(s.idx);
                 }
@@ -319,8 +368,10 @@ fn match_messages(
     }
 
     matches.sort_by_key(|m| (m.recv_idx, m.send_idx));
-    let mut unmatched: Vec<usize> = all_sends
-        .into_iter()
+    let mut unmatched: Vec<usize> = queues
+        .all_sends
+        .iter()
+        .copied()
         .filter(|i| !matched.contains(i))
         .collect();
     unmatched.sort_unstable();
@@ -329,7 +380,7 @@ fn match_messages(
 }
 
 /// The host id of an `inet:<host>:<port>` display name.
-fn host_of(name: &str) -> Option<u32> {
+pub fn host_of(name: &str) -> Option<u32> {
     name.strip_prefix("inet:")?.split(':').next()?.parse().ok()
 }
 

@@ -96,8 +96,32 @@ pub struct ProcStats {
     pub cpu_ms: u32,
 }
 
+impl ProcStats {
+    /// Folds one event of this process into the counters — the
+    /// per-event primitive both the batch sweep in
+    /// [`CommStats::analyze`] and live incremental consumers use.
+    pub fn record(&mut self, e: &crate::trace::Event) {
+        self.cpu_ms = self.cpu_ms.max(e.proc_time);
+        match &e.kind {
+            EventKind::Send { len, .. } => {
+                self.sends += 1;
+                self.bytes_sent += *len as u64;
+            }
+            EventKind::Recv { len, .. } => {
+                self.recvs += 1;
+                self.bytes_recv += *len as u64;
+            }
+            EventKind::RecvCall => self.recv_calls += 1,
+            EventKind::Socket { .. } => self.sockets += 1,
+            EventKind::Connect { .. } => self.connects += 1,
+            EventKind::Accept { .. } => self.accepts += 1,
+            _ => {}
+        }
+    }
+}
+
 /// Whole-trace communication statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CommStats {
     /// Counters per process.
     pub per_proc: HashMap<ProcKey, ProcStats>,
@@ -148,24 +172,23 @@ impl CommStats {
     pub fn analyze(trace: &Trace, pairing: &Pairing) -> CommStats {
         let mut per_proc: HashMap<ProcKey, ProcStats> = HashMap::new();
         for e in &trace.events {
-            let s = per_proc.entry(e.proc).or_default();
-            s.cpu_ms = s.cpu_ms.max(e.proc_time);
-            match &e.kind {
-                EventKind::Send { len, .. } => {
-                    s.sends += 1;
-                    s.bytes_sent += *len as u64;
-                }
-                EventKind::Recv { len, .. } => {
-                    s.recvs += 1;
-                    s.bytes_recv += *len as u64;
-                }
-                EventKind::RecvCall => s.recv_calls += 1,
-                EventKind::Socket { .. } => s.sockets += 1,
-                EventKind::Connect { .. } => s.connects += 1,
-                EventKind::Accept { .. } => s.accepts += 1,
-                _ => {}
-            }
+            per_proc.entry(e.proc).or_default().record(e);
         }
+        CommStats::with_proc_stats(per_proc, SizeHistogram::of_sends(trace), trace, pairing)
+    }
+
+    /// Assembles statistics from already-accumulated per-process
+    /// counters and size histogram (grown incrementally via
+    /// [`ProcStats::record`] / [`SizeHistogram::add`]) plus the
+    /// pairing-derived parts, which are recomputed here. This is the
+    /// same code path [`CommStats::analyze`] takes, so incremental and
+    /// batch accumulation agree exactly.
+    pub fn with_proc_stats(
+        per_proc: HashMap<ProcKey, ProcStats>,
+        sizes: SizeHistogram,
+        trace: &Trace,
+        pairing: &Pairing,
+    ) -> CommStats {
         let mut per_pair: HashMap<(ProcKey, ProcKey), (u64, u64)> = HashMap::new();
         for m in &pairing.messages {
             let e = per_pair.entry((m.from, m.to)).or_default();
@@ -173,7 +196,6 @@ impl CommStats {
             e.1 += m.bytes as u64;
         }
         let clock_offsets = estimate_offsets(trace, pairing);
-        let sizes = SizeHistogram::of_sends(trace);
         CommStats {
             per_proc,
             per_pair,

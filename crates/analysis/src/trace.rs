@@ -146,13 +146,28 @@ impl Trace {
 
     /// Builds a trace from already-parsed log records.
     pub fn from_records(records: &[LogRecord]) -> Trace {
-        let mut events = Vec::new();
+        let mut t = Trace::default();
         for r in records {
-            if let Some(ev) = typed_event(events.len(), r) {
-                events.push(ev);
-            }
+            t.push_record(r);
         }
-        Trace { events }
+        t
+    }
+
+    /// Appends one decoded log record to the trace, typing it exactly
+    /// as [`Trace::from_records`]/[`Trace::from_frames`] would. Returns
+    /// whether the record produced an event (records that lack the
+    /// fields needed to type them are skipped). This is the append
+    /// primitive live consumers grow a trace with, one record at a
+    /// time — a trace grown by `push_record` in record order is equal
+    /// to the batch-built trace over the same records.
+    pub fn push_record(&mut self, r: &LogRecord) -> bool {
+        match typed_event(self.events.len(), r) {
+            Some(ev) => {
+                self.events.push(ev);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Builds a trace straight from a binary log store, decoding each
@@ -188,16 +203,14 @@ impl Trace {
     where
         I: IntoIterator<Item = Frame<'a>>,
     {
-        let mut events = Vec::new();
+        let mut t = Trace::default();
         for f in frames {
             let Some(rec) = LogRecord::from_raw(desc, f.raw, &[]) else {
                 continue;
             };
-            if let Some(ev) = typed_event(events.len(), &rec) {
-                events.push(ev);
-            }
+            t.push_record(&rec);
         }
-        Trace { events }
+        t
     }
 
     /// The distinct processes, in first-appearance order.

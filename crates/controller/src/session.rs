@@ -16,13 +16,14 @@
 use crate::job::{Job, ManagedProc, ProcAction, ProcState};
 use dpm_analysis::{ByzReport, MutexReport, Trace};
 use dpm_filter::{parse_host_port, Descriptions, FilterRole, LogRecord, Rules};
-use dpm_logstore::StoreReader;
+use dpm_live::{LiveWatch, WindowSnapshot};
+use dpm_logstore::{seals_name, seg_ids_of, OwnedFrame, StoreReader, StoreTail};
 use dpm_meterd::{
     read_frame, rpc_call_retry, FilterSpec, LogSinkMode, Reply, Request, RpcStatus, RPC_TIMEOUT_MS,
 };
 use dpm_simos::{Backoff, BindTo, Cluster, Domain, Pid, Proc, SockType, SysError, SysResult, Uid};
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc;
 use std::sync::Arc;
 
@@ -59,6 +60,22 @@ pub struct FilterInfo {
     pub desc: Descriptions,
 }
 
+/// Live-streaming state the controller keeps per watched filter:
+/// byte cursors into the filter's store segments, the incremental
+/// trace they feed, and how much of the seal manifest has been shown.
+/// `watch` and `tail` share this, so however the user mixes them every
+/// stored frame reaches the live trace exactly once.
+struct WatchState {
+    tail: StoreTail,
+    watch: LiveWatch,
+    /// Sealed segments fully read — never fetched again.
+    consumed: HashSet<String>,
+    /// Seal-manifest lines already echoed to the transcript.
+    seal_lines: usize,
+    /// The most recently closed window, for programmatic callers.
+    last: Option<WindowSnapshot>,
+}
+
 /// The interactive measurement-session controller.
 pub struct Controller {
     proc: Proc,
@@ -68,6 +85,8 @@ pub struct Controller {
     jobs: HashMap<String, Job>,
     job_order: Vec<String>,
     filters: Vec<FilterInfo>,
+    /// Per-filter live streaming state, keyed by filter name.
+    watches: HashMap<String, WatchState>,
     next_filter_port: u16,
     notifications: Arc<Mutex<VecDeque<Request>>>,
     /// Stack of `sink` output files (top active); empty = terminal.
@@ -153,6 +172,7 @@ impl Controller {
             jobs: HashMap::new(),
             job_order: Vec::new(),
             filters: Vec::new(),
+            watches: HashMap::new(),
             next_filter_port: 4000,
             notifications,
             sinks: Vec::new(),
@@ -400,6 +420,8 @@ impl Controller {
             "removeprocess" | "rmproc" => self.cmd_removeprocess(&args),
             "jobs" => self.cmd_jobs(&args),
             "getlog" => self.cmd_getlog(&args),
+            "watch" => self.cmd_watch(&args),
+            "tail" => self.cmd_tail(&args),
             "check" => self.cmd_check(&args),
             "source" => self.cmd_source(&args, depth),
             "sink" => self.cmd_sink(&args),
@@ -435,6 +457,8 @@ impl Controller {
         self.emit("  removejob <jobname>     removeprocess <jobname> <process>");
         self.emit("  jobs [<jobname1 jobname2 ...>]");
         self.emit("  getlog <filtername> <destination filename>");
+        self.emit("  watch <filtername> [windows=<n>] [interval=<ms>] [anomalies]");
+        self.emit("  tail <filtername> [n=<records>]");
         self.emit("  check <filtername> <mutex|byzantine>");
         self.emit("  source <filename>       sink [<filename>]");
         self.emit("  input <jobname> <process> <text>");
@@ -1169,7 +1193,7 @@ impl Controller {
                     self.emit(&format!("cannot list segments of filter '{fname}'"));
                     return;
                 };
-                let reader = StoreReader::from_segment_bytes(segments);
+                let reader = StoreReader::from_named_segment_bytes(segments);
                 let mut text = String::new();
                 for frame in reader.scan() {
                     if let Some(rec) = LogRecord::from_raw(&f.desc, frame.raw, &[]) {
@@ -1182,10 +1206,178 @@ impl Controller {
         }
     }
 
-    /// Fetches every store segment of a `log=store` filter over RPC,
-    /// in segment order. `None` if the listing fails.
-    fn fetch_segments(&mut self, f: &FilterInfo) -> Option<Vec<Vec<u8>>> {
-        let names = match self.rpc(
+    /// `watch <filtername> [windows=<n>] [interval=<ms>] [anomalies]`
+    /// — stream live windowed analysis of a running `log=store`
+    /// filter: each window polls the filter's segment files through
+    /// the tail cursors, feeds the new frames to the incremental trace
+    /// engine, and prints one summary line (records, active processes,
+    /// message-pairing lag). With `anomalies`, each window also prints
+    /// the top-scoring process and the link the pairing lag
+    /// concentrates on — the live localizer for partition-like faults.
+    fn cmd_watch(&mut self, args: &[&str]) {
+        let Some(fname) = args.first().map(|s| (*s).to_owned()) else {
+            self.emit("usage: watch <filtername> [windows=<n>] [interval=<ms>] [anomalies]");
+            return;
+        };
+        let (mut windows, mut interval_ms, mut anomalies) = (1usize, 300u64, false);
+        for a in &args[1..] {
+            if let Some(v) = a.strip_prefix("windows=") {
+                match v.parse::<usize>() {
+                    Ok(n) if n > 0 => windows = n,
+                    _ => {
+                        self.emit(&format!("bad windows count '{v}'"));
+                        return;
+                    }
+                }
+            } else if let Some(v) = a.strip_prefix("interval=") {
+                match v.parse::<u64>() {
+                    Ok(ms) => interval_ms = ms,
+                    _ => {
+                        self.emit(&format!("bad interval '{v}'"));
+                        return;
+                    }
+                }
+            } else if *a == "anomalies" {
+                anomalies = true;
+            } else {
+                self.emit(&format!("unknown watch option '{a}'"));
+                return;
+            }
+        }
+        let Some(f) = self.watchable_filter(&fname) else {
+            return;
+        };
+        for w in 0..windows {
+            if w > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            }
+            self.pump();
+            let mut st = self.take_watch_state(&f);
+            let frames = self.poll_filter_frames(&f, &mut st);
+            st.watch.ingest_batch(frames);
+            let snap = st.watch.close_window();
+            self.emit(&format!("watch {fname} {}", snap.summary()));
+            if anomalies {
+                if let Some(top) = snap.anomalies.first() {
+                    self.emit(&format!(
+                        "watch {fname} anomaly: m{}:p{} score={:.2} (dev={:.2} lag={:.2})",
+                        top.proc.machine, top.proc.pid, top.score, top.profile_dev, top.lag_share
+                    ));
+                }
+                if let Some((a, b, n)) = snap.link_lag.first() {
+                    self.emit(&format!("watch {fname} lag: link {a}<->{b} unmatched={n}"));
+                }
+            }
+            st.last = Some(snap);
+            self.watches.insert(fname.clone(), st);
+        }
+    }
+
+    /// `tail <filtername> [n=<records>]` — poll once and print the
+    /// most recent newly arrived records as decoded log text. Shares
+    /// the watch cursors: frames shown here are also fed to the live
+    /// trace, so mixing `tail` and `watch` never double-counts.
+    fn cmd_tail(&mut self, args: &[&str]) {
+        let Some(fname) = args.first().map(|s| (*s).to_owned()) else {
+            self.emit("usage: tail <filtername> [n=<records>]");
+            return;
+        };
+        let mut show = 10usize;
+        for a in &args[1..] {
+            if let Some(v) = a.strip_prefix("n=") {
+                match v.parse::<usize>() {
+                    Ok(n) => show = n,
+                    _ => {
+                        self.emit(&format!("bad record count '{v}'"));
+                        return;
+                    }
+                }
+            } else {
+                self.emit(&format!("unknown tail option '{a}'"));
+                return;
+            }
+        }
+        let Some(f) = self.watchable_filter(&fname) else {
+            return;
+        };
+        let mut st = self.take_watch_state(&f);
+        let frames = self.poll_filter_frames(&f, &mut st);
+        let new = frames.len();
+        let lines: Vec<String> = frames
+            .iter()
+            .skip(new.saturating_sub(show))
+            .filter_map(|fr| LogRecord::from_raw(&f.desc, &fr.raw, &[]))
+            .map(|rec| rec.to_string())
+            .collect();
+        st.watch.ingest_batch(frames);
+        self.emit(&format!("tail {fname}: {new} new record(s)"));
+        for l in lines {
+            self.emit(&format!("  {l}"));
+        }
+        self.watches.insert(fname, st);
+    }
+
+    /// Resolves a filter name for `watch`/`tail`: must exist, keep a
+    /// log (not an edge), and log to a store.
+    fn watchable_filter(&mut self, fname: &str) -> Option<FilterInfo> {
+        let Some(f) = self.filters.iter().find(|f| f.name == fname).cloned() else {
+            self.emit(&format!("no filter named '{fname}'"));
+            return None;
+        };
+        if f.role == FilterRole::Edge {
+            self.emit(&format!(
+                "filter '{fname}' is an edge pre-filter and keeps no log; watch its upstream aggregate instead"
+            ));
+            return None;
+        }
+        if f.log_mode != LogSinkMode::Store {
+            self.emit(&format!(
+                "filter '{fname}' logs text; watch/tail need log=store"
+            ));
+            return None;
+        }
+        Some(f)
+    }
+
+    /// The watch state for a filter, creating it on first use. Taken
+    /// out of the map for the duration of a poll (RPC needs `&self`).
+    fn take_watch_state(&mut self, f: &FilterInfo) -> WatchState {
+        self.watches.remove(&f.name).unwrap_or_else(|| WatchState {
+            tail: StoreTail::default(),
+            watch: LiveWatch::new(f.desc.clone()),
+            consumed: HashSet::new(),
+            seal_lines: 0,
+            last: None,
+        })
+    }
+
+    /// One live poll of a filter's store: echo new seal-manifest
+    /// lines, list the segment files, advance the byte cursors over
+    /// every not-yet-consumed one, and return the new frames in seq
+    /// order. Sealed segments (a higher-numbered segment exists for
+    /// their shard) are fetched one last time and then dropped from
+    /// all future polls — only the in-progress segment per shard is
+    /// re-fetched each round.
+    fn poll_filter_frames(&mut self, f: &FilterInfo, st: &mut WatchState) -> Vec<OwnedFrame> {
+        // Seal notifications, as appended by the filter's seal hook.
+        if let Ok(Reply::File {
+            status: RpcStatus::Ok,
+            data,
+        }) = self.rpc(
+            &f.machine,
+            &Request::GetFile {
+                path: seals_name(&f.logfile),
+            },
+        ) {
+            let text = String::from_utf8_lossy(&data);
+            let lines: Vec<&str> = text.lines().collect();
+            for l in lines.iter().skip(st.seal_lines) {
+                self.emit(&format!("watch {}: {l}", f.name));
+            }
+            st.seal_lines = st.seal_lines.max(lines.len());
+        }
+
+        let names: Vec<String> = match self.rpc(
             &f.machine,
             &Request::ListFiles {
                 prefix: format!("{}/", f.logfile),
@@ -1194,17 +1386,80 @@ impl Controller {
             Ok(Reply::FileList {
                 status: RpcStatus::Ok,
                 names,
-            }) => names,
+            }) => names.into_iter().filter(|n| n.ends_with(".seg")).collect(),
+            _ => return Vec::new(),
+        };
+        let mut max_no: HashMap<u16, u32> = HashMap::new();
+        for n in &names {
+            if let Some((shard, no)) = seg_ids_of(n) {
+                let e = max_no.entry(shard).or_insert(no);
+                *e = (*e).max(no);
+            }
+        }
+        let mut frames = Vec::new();
+        for name in names {
+            if st.consumed.contains(&name) {
+                continue;
+            }
+            let Ok(Reply::File {
+                status: RpcStatus::Ok,
+                data,
+            }) = self.rpc(&f.machine, &Request::GetFile { path: name.clone() })
+            else {
+                continue;
+            };
+            frames.extend(st.tail.offer_segment(&name, &data));
+            let sealed = seg_ids_of(&name).is_some_and(|(shard, no)| no < max_no[&shard]);
+            if sealed {
+                // Fully read (a sealed segment's final flush preceded
+                // its successor's creation): never fetch again.
+                st.tail.consumed(&name);
+                st.consumed.insert(name);
+            }
+        }
+        frames.sort_by_key(|fr| fr.seq);
+        frames
+    }
+
+    /// The most recently closed watch window of `filter`, if any —
+    /// for tests and host-side tooling.
+    pub fn last_window(&self, filter: &str) -> Option<&WindowSnapshot> {
+        self.watches.get(filter).and_then(|st| st.last.as_ref())
+    }
+
+    /// Mutable access to a filter's live watch (trace engine plus
+    /// scorer) — for tests and host-side tooling that want the full
+    /// incremental analyses rather than the rendered lines.
+    pub fn watch_live_mut(&mut self, filter: &str) -> Option<&mut LiveWatch> {
+        self.watches.get_mut(filter).map(|st| &mut st.watch)
+    }
+
+    /// Fetches every store segment of a `log=store` filter over RPC,
+    /// in segment order, keeping the segment names so the reader can
+    /// classify sealed vs in-progress segments — the same listing
+    /// facts the live tail uses. `None` if the listing fails.
+    fn fetch_segments(&mut self, f: &FilterInfo) -> Option<Vec<(String, Vec<u8>)>> {
+        let mut names: Vec<String> = match self.rpc(
+            &f.machine,
+            &Request::ListFiles {
+                prefix: format!("{}/", f.logfile),
+            },
+        ) {
+            Ok(Reply::FileList {
+                status: RpcStatus::Ok,
+                names,
+            }) => names.into_iter().filter(|n| n.ends_with(".seg")).collect(),
             _ => return None,
         };
+        names.sort();
         let mut segments = Vec::new();
-        for path in names.into_iter().filter(|n| n.ends_with(".seg")) {
+        for path in names {
             if let Ok(Reply::File {
                 status: RpcStatus::Ok,
                 data,
-            }) = self.rpc(&f.machine, &Request::GetFile { path })
+            }) = self.rpc(&f.machine, &Request::GetFile { path: path.clone() })
             {
-                segments.push(data);
+                segments.push((path, data));
             }
         }
         Some(segments)
@@ -1227,7 +1482,7 @@ impl Controller {
                 _ => None,
             },
             LogSinkMode::Store => {
-                let reader = StoreReader::from_segment_bytes(self.fetch_segments(f)?);
+                let reader = StoreReader::from_named_segment_bytes(self.fetch_segments(f)?);
                 Some(Trace::from_store(&reader, &f.desc))
             }
         }

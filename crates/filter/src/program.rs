@@ -40,7 +40,7 @@ use crate::rules::Rules;
 use crate::shard::{ShardLog, ShardSink, ShardedFilter, DEFAULT_BATCH_BYTES};
 use crate::store::SimFsBackend;
 use crate::tree::run_aggregate;
-use dpm_logstore::{Backend, LogStore, StoreConfig};
+use dpm_logstore::{seal_manifest_hook, Backend, LogStore, StoreConfig};
 use dpm_simos::{BindTo, Cluster, Domain, Proc, SockType, SysError, SysResult};
 use std::sync::Arc;
 
@@ -101,7 +101,11 @@ fn run_leaf(p: &Proc, args: &FilterArgs, desc: Descriptions, rules: Rules) -> Sy
         // this machine's fs; every shard writer shares one store (one
         // global seq space, one monotonic clock).
         let backend: Arc<dyn Backend> = Arc::new(SimFsBackend::new(Arc::clone(p.machine())));
-        let store = LogStore::open(backend, &log_path, StoreConfig::default());
+        let mut store = LogStore::open(Arc::clone(&backend), &log_path, StoreConfig::default());
+        // Publish every segment seal into the store's SEALS manifest,
+        // so live consumers (controller `watch`) see rotations as they
+        // happen instead of probing for them.
+        store.set_seal_hook(seal_manifest_hook(backend, &log_path));
         Arc::new(ShardedFilter::with_logs(
             shards,
             desc,

@@ -23,7 +23,7 @@ use crate::desc::Descriptions;
 use crate::engine::FilterEngine;
 use crate::rules::Rules;
 use crate::store::SimFsBackend;
-use dpm_logstore::{Backend, LogStore, SegmentWriter, StoreConfig};
+use dpm_logstore::{seal_manifest_hook, Backend, LogStore, SegmentWriter, StoreConfig};
 use dpm_simos::{
     connect_backoff, Backoff, BindTo, Domain, Machine, Proc, SockType, SysError, SysResult,
 };
@@ -122,7 +122,7 @@ impl TreeMerge {
 /// on the aggregate's machine.
 enum AggSink {
     Text { machine: Arc<Machine>, path: String },
-    Store { writer: SegmentWriter },
+    Store { writer: Box<SegmentWriter> },
 }
 
 impl AggSink {
@@ -199,9 +199,11 @@ pub fn run_aggregate(
     }
     let mut sink = if args.store_log {
         let backend: Arc<dyn Backend> = Arc::new(SimFsBackend::new(Arc::clone(p.machine())));
-        let store = LogStore::open(backend, &args.logfile, StoreConfig::default());
+        let mut store = LogStore::open(Arc::clone(&backend), &args.logfile, StoreConfig::default());
+        // Seal notifications for live consumers, as in the leaf path.
+        store.set_seal_hook(seal_manifest_hook(backend, &args.logfile));
         AggSink::Store {
-            writer: store.writer(0),
+            writer: Box::new(store.writer(0)),
         }
     } else {
         AggSink::Text {

@@ -1,0 +1,216 @@
+//! The live subsystem's central property: feeding a store's frames to
+//! a [`LiveTrace`] — in *any* chunking — yields, at quiescence, exactly
+//! the batch results over the same store: the same trace, the same
+//! pairing, the same happens-before relation, the same statistics.
+
+use dpm_analysis::{CommStats, HappensBefore, Pairing, Trace};
+use dpm_filter::Descriptions;
+use dpm_live::LiveTrace;
+use dpm_logstore::{Backend, LogStore, MemBackend, OwnedFrame, StoreConfig, StoreReader};
+use dpm_meter::{MeterBody, MeterHeader, MeterMsg, MeterRecvMsg, MeterSendMsg, SockName};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const DIR: &str = "/usr/tmp/log.prop";
+
+fn encode(machine: u16, meter_seq: u32, cpu: u32, body: MeterBody) -> Vec<u8> {
+    MeterMsg {
+        header: MeterHeader {
+            size: 0,
+            machine,
+            cpu_time: cpu,
+            seq: meter_seq,
+            proc_time: 0,
+            trace_type: body.trace_type(),
+        },
+        body,
+    }
+    .encode()
+}
+
+fn send_rec(src: u32, dst: u32, len: u32, cpu: u32, meter_seq: u32) -> Vec<u8> {
+    encode(
+        src as u16,
+        meter_seq,
+        cpu,
+        MeterBody::Send(MeterSendMsg {
+            pid: 10 + src,
+            pc: 0,
+            sock: 3,
+            msg_length: len,
+            dest_name: Some(SockName::inet(dst, 53)),
+        }),
+    )
+}
+
+fn recv_rec(src: u32, dst: u32, len: u32, cpu: u32, meter_seq: u32) -> Vec<u8> {
+    encode(
+        dst as u16,
+        meter_seq,
+        cpu,
+        MeterBody::Recv(MeterRecvMsg {
+            pid: 10 + dst,
+            pc: 0,
+            sock: 7,
+            msg_length: len,
+            source_name: Some(SockName::inet(src, 1024)),
+        }),
+    )
+}
+
+/// A randomized paired datagram conversation among three machines
+/// (the same regime `dpm-analysis`' pairing property tests use:
+/// pairwise-distinct lengths, receives trailing their sends by
+/// arbitrary spans, some messages lost), as raw meter records in
+/// emission order.
+fn arb_records() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    let msg = (0u32..3, 1u32..3, any::<bool>(), 0usize..4);
+    proptest::collection::vec(msg, 1..25).prop_map(|plan| {
+        let mut recs = Vec::new();
+        let mut cpu = [0u32; 3];
+        let mut meter_seq = [0u32; 3];
+        let mut pending: Vec<(u32, u32, u32)> = Vec::new();
+        for (k, (src, dstoff, deliver, flush)) in plan.iter().enumerate() {
+            let (src, dst) = (*src, (*src + *dstoff) % 3);
+            let len = 20 + k as u32; // pairwise-distinct
+            cpu[src as usize] += 10;
+            meter_seq[src as usize] += 1;
+            recs.push(send_rec(
+                src,
+                dst,
+                len,
+                cpu[src as usize],
+                meter_seq[src as usize],
+            ));
+            if *deliver {
+                pending.push((src, dst, len));
+            }
+            for _ in 0..*flush {
+                if pending.is_empty() {
+                    break;
+                }
+                let (s, d, l) = pending.remove(0);
+                cpu[d as usize] += 10;
+                meter_seq[d as usize] += 1;
+                recs.push(recv_rec(s, d, l, cpu[d as usize], meter_seq[d as usize]));
+            }
+        }
+        for (s, d, l) in pending {
+            cpu[d as usize] += 10;
+            meter_seq[d as usize] += 1;
+            recs.push(recv_rec(s, d, l, cpu[d as usize], meter_seq[d as usize]));
+        }
+        recs
+    })
+}
+
+/// Writes the records into a small-segment two-shard store (machine
+/// picks the shard, so rotation and shard interleaving are both
+/// exercised) and returns its backend.
+fn build_store(records: &[Vec<u8>]) -> Arc<MemBackend> {
+    let backend = Arc::new(MemBackend::new());
+    let store = LogStore::open(
+        backend.clone(),
+        DIR,
+        StoreConfig {
+            segment_bytes: 512,
+            batch_bytes: 128,
+            index_every: 4,
+        },
+    );
+    let mut writers = [store.writer(0), store.writer(1)];
+    for raw in records {
+        let machine = u16::from_le_bytes([raw[4], raw[5]]);
+        writers[(machine % 2) as usize].append(raw);
+    }
+    for w in &mut writers {
+        w.flush();
+    }
+    backend
+}
+
+struct Batch {
+    trace: Trace,
+    pairing: Pairing,
+    hb: HappensBefore,
+    stats: CommStats,
+}
+
+fn batch_analyses(backend: &dyn Backend, desc: &Descriptions) -> Batch {
+    let reader = StoreReader::load(backend, DIR);
+    let trace = Trace::from_store(&reader, desc);
+    let pairing = Pairing::analyze(&trace);
+    let hb = HappensBefore::build(&trace, &pairing);
+    let stats = CommStats::analyze(&trace, &pairing);
+    Batch {
+        trace,
+        pairing,
+        hb,
+        stats,
+    }
+}
+
+fn assert_live_equals_batch(lt: &mut LiveTrace, batch: &Batch) {
+    assert_eq!(lt.trace(), &batch.trace, "trace differs");
+    assert_eq!(lt.pairing(), &batch.pairing, "pairing differs");
+    assert_eq!(lt.hb(), &batch.hb, "happens-before differs");
+    assert_eq!(lt.stats(), &batch.stats, "stats differ");
+}
+
+proptest! {
+    /// Any chunking of the store's frames — including asking for the
+    /// analyses *between* chunks, which exercises the memo cache at
+    /// every intermediate version — converges to the batch result.
+    #[test]
+    fn live_equals_batch_under_any_chunking(
+        records in arb_records(),
+        chunks in proptest::collection::vec(1usize..7, 0..40),
+        peek in any::<bool>(),
+    ) {
+        let backend = build_store(&records);
+        let desc = Descriptions::standard();
+        let batch = batch_analyses(backend.as_ref(), &desc);
+
+        let reader = StoreReader::load(backend.as_ref(), DIR);
+        let frames: Vec<OwnedFrame> =
+            reader.scan().map(|f| OwnedFrame::of(&f)).collect();
+        prop_assert_eq!(frames.len(), records.len());
+
+        let mut lt = LiveTrace::new(desc);
+        let mut fed = 0;
+        let mut chunks = chunks.into_iter();
+        while fed < frames.len() {
+            let n = chunks.next().unwrap_or(usize::MAX).min(frames.len() - fed);
+            lt.ingest_batch(frames[fed..fed + n].iter().cloned());
+            fed += n;
+            if peek {
+                // Intermediate asks must not disturb convergence.
+                let _ = lt.pairing().messages.len();
+            }
+        }
+        prop_assert_eq!(lt.reorder_pending(), 0);
+        assert_live_equals_batch(&mut lt, &batch);
+    }
+
+    /// Frames delivered shard-by-shard (all of shard 1, then all of
+    /// shard 0) arrive maximally out of seq order; the reorder buffer
+    /// must hold and replay them into the exact batch order.
+    #[test]
+    fn live_equals_batch_under_shard_skewed_delivery(records in arb_records()) {
+        let backend = build_store(&records);
+        let desc = Descriptions::standard();
+        let batch = batch_analyses(backend.as_ref(), &desc);
+
+        let reader = StoreReader::load(backend.as_ref(), DIR);
+        let mut frames: Vec<OwnedFrame> =
+            reader.scan().map(|f| OwnedFrame::of(&f)).collect();
+        // Shard 1 first, then shard 0; seq ascending within a shard.
+        frames.sort_by_key(|f| (std::cmp::Reverse(f.shard), f.seq));
+
+        let mut lt = LiveTrace::new(desc);
+        lt.ingest_batch(frames);
+        prop_assert_eq!(lt.reorder_pending(), 0);
+        prop_assert_eq!(lt.replays(), 0);
+        assert_live_equals_batch(&mut lt, &batch);
+    }
+}

@@ -44,9 +44,14 @@ pub mod crc;
 pub mod format;
 pub mod index;
 pub mod reader;
+pub mod tail;
 pub mod writer;
 
 pub use backend::{Backend, DirBackend, MemBackend};
 pub use format::{ProcId, ENVELOPE_LEN, FRAME_OVERHEAD, SEG_HEADER_LEN, SEG_MAGIC};
-pub use reader::{Frame, Scan, StoreReader};
-pub use writer::{segment_name, LogStore, SegmentWriter, StoreConfig};
+pub use reader::{list_segments, Frame, Scan, SegmentInfo, StoreReader};
+pub use tail::{OwnedFrame, StoreTail};
+pub use writer::{
+    seal_manifest_hook, seals_name, seg_ids_of, segment_name, LogStore, SealHook, SealInfo,
+    SegmentWriter, StoreConfig,
+};

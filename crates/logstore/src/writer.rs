@@ -59,9 +59,10 @@ impl Default for StoreConfig {
 
 /// The file name of shard `shard`'s segment number `no` under `dir`.
 ///
-/// Segment numbering is per shard and dense from zero, so a remote
-/// reader (the controller's `getlog`) can fetch a store by probing
-/// names until one is absent.
+/// Segment numbering is per shard and dense from zero. Discovery goes
+/// through a directory listing ([`crate::reader::list_segments`]);
+/// the dense numbering is what lets listings be classified into
+/// sealed and in-progress segments (see [`seg_ids_of`]).
 pub fn segment_name(dir: &str, shard: u16, no: u32) -> String {
     format!("{dir}/s{shard:04}-{no:08}.seg")
 }
@@ -69,6 +70,54 @@ pub fn segment_name(dir: &str, shard: u16, no: u32) -> String {
 /// The index sidecar name for a segment file name.
 pub fn index_name(seg_name: &str) -> String {
     format!("{}.idx", seg_name.trim_end_matches(".seg"))
+}
+
+/// The seal-manifest file name under a store directory. The manifest
+/// holds one line per sealed segment, appended by
+/// [`seal_manifest_hook`]; a live consumer reads it to learn about
+/// seals without re-reading segment bytes.
+pub fn seals_name(dir: &str) -> String {
+    format!("{}/SEALS", dir.trim_end_matches('/'))
+}
+
+/// Describes one sealed (rotated-away-from) segment, handed to the
+/// store's [`SealHook`] at the moment of rotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealInfo {
+    /// The sealed segment's file name.
+    pub name: String,
+    /// Shard whose writer rotated.
+    pub shard: u16,
+    /// The sealed segment's number.
+    pub seg_no: u32,
+    /// Valid frames the sealed segment holds.
+    pub frames: u64,
+    /// Durable bytes of the sealed segment (header + frames).
+    pub bytes: u64,
+    /// Seq of the segment's last frame (`None` if it sealed empty).
+    pub last_seq: Option<u64>,
+}
+
+/// Callback invoked by a shard writer right after it seals a segment
+/// (flushes it for the last time and moves to the next segment
+/// number). Runs on the appending thread, so it must be cheap.
+pub type SealHook = Arc<dyn Fn(&SealInfo) + Send + Sync>;
+
+/// Returns a [`SealHook`] that appends one human-readable line per
+/// sealed segment to the store's `SEALS` manifest file — the seal
+/// notification a filter installs so live consumers (the controller's
+/// `watch`) learn about rotation by reading one small file.
+pub fn seal_manifest_hook(backend: Arc<dyn Backend>, dir: &str) -> SealHook {
+    let manifest = seals_name(dir);
+    Arc::new(move |info: &SealInfo| {
+        let base = info.name.rsplit('/').next().unwrap_or(&info.name);
+        let last = info.last_seq.map_or(-1, |s| s as i64);
+        let line = format!(
+            "sealed {} shard={} frames={} bytes={} last_seq={}\n",
+            base, info.shard, info.frames, info.bytes, last
+        );
+        backend.append(&manifest, line.as_bytes());
+    })
 }
 
 /// A handle on one store directory.
@@ -81,6 +130,8 @@ pub struct LogStore {
     /// Monotonic clock: stored ts = `ts_base + origin.elapsed()`.
     origin: Instant,
     ts_base: u64,
+    /// Invoked by every shard writer when it seals a segment.
+    seal_hook: Option<SealHook>,
 }
 
 impl std::fmt::Debug for LogStore {
@@ -115,7 +166,14 @@ impl LogStore {
             seq: Arc::new(AtomicU64::new(max_seq.map_or(0, |m| m + 1))),
             origin: Instant::now(),
             ts_base: if max_seq.is_some() { max_ts + 1 } else { 0 },
+            seal_hook: None,
         }
+    }
+
+    /// Installs the hook every subsequently-created shard writer
+    /// invokes when it seals a segment (see [`SealHook`]).
+    pub fn set_seal_hook(&mut self, hook: SealHook) {
+        self.seal_hook = Some(hook);
     }
 
     /// The store directory.
@@ -145,6 +203,7 @@ impl LogStore {
             Arc::clone(&self.seq),
             self.origin,
             self.ts_base,
+            self.seal_hook.clone(),
         )
     }
 
@@ -178,6 +237,10 @@ pub struct SegmentWriter {
     appended: u64,
     /// Last timestamp issued, to keep per-shard stamps monotonic.
     last_ts: u64,
+    /// Seq of the last frame appended to the current segment.
+    seg_last_seq: Option<u64>,
+    /// Invoked after sealing a segment in [`SegmentWriter::roll`].
+    seal_hook: Option<SealHook>,
 }
 
 impl std::fmt::Debug for SegmentWriter {
@@ -202,6 +265,7 @@ impl SegmentWriter {
         seq: Arc<AtomicU64>,
         origin: Instant,
         ts_base: u64,
+        seal_hook: Option<SealHook>,
     ) -> SegmentWriter {
         let mut w = SegmentWriter {
             backend,
@@ -218,6 +282,8 @@ impl SegmentWriter {
             need_header: true,
             appended: 0,
             last_ts: 0,
+            seg_last_seq: None,
+            seal_hook,
         };
         w.recover();
         w
@@ -251,6 +317,15 @@ impl SegmentWriter {
             self.backend.write(last, &bytes[..valid_len]);
         }
         self.backend.write(&index_name(last), &index.encode());
+        // Recover the segment's last seq for future seal notices.
+        let mut off = index
+            .sparse
+            .last()
+            .map_or(crate::format::SEG_HEADER_LEN, |e| e.off as usize);
+        while let Some((env, _, next)) = crate::format::decode_frame(&bytes[..valid_len], off) {
+            self.seg_last_seq = Some(env.seq);
+            off = next;
+        }
         self.seg_no = no;
         self.durable = valid_len;
         self.index = index;
@@ -302,6 +377,7 @@ impl SegmentWriter {
         encode_frame(&mut self.batch, &env, raw);
         self.index.push(seq, ts_us, env.proc, off);
         self.appended += 1;
+        self.seg_last_seq = Some(seq);
         if self.durable + self.batch.len() >= self.cfg.segment_bytes {
             self.roll();
         } else if self.batch.len() >= self.cfg.batch_bytes {
@@ -368,13 +444,26 @@ impl SegmentWriter {
             .sync(&segment_name(&self.dir, self.shard, self.seg_no));
     }
 
-    /// Seals the current segment and opens the next one.
+    /// Seals the current segment and opens the next one, notifying
+    /// the store's seal hook (if any) with the sealed segment's
+    /// listing facts.
     fn roll(&mut self) {
         self.flush();
+        if let Some(hook) = self.seal_hook.clone() {
+            hook(&SealInfo {
+                name: segment_name(&self.dir, self.shard, self.seg_no),
+                shard: self.shard,
+                seg_no: self.seg_no,
+                frames: self.index.n_records,
+                bytes: self.durable as u64,
+                last_seq: self.seg_last_seq,
+            });
+        }
         self.seg_no += 1;
         self.durable = 0;
         self.index = SegmentIndex::new(self.cfg.index_every);
         self.need_header = true;
+        self.seg_last_seq = None;
     }
 }
 
@@ -386,11 +475,19 @@ impl Drop for SegmentWriter {
     }
 }
 
+/// Parses the `(shard, segment number)` out of a segment file name of
+/// the form produced by [`segment_name`]. Remote consumers use this to
+/// classify which fetched segments are sealed (all but the
+/// highest-numbered per shard).
+pub fn seg_ids_of(name: &str) -> Option<(u16, u32)> {
+    let stem = name.rsplit('/').next()?.strip_suffix(".seg")?;
+    let (shard, no) = stem.rsplit_once('-')?;
+    Some((shard.strip_prefix('s')?.parse().ok()?, no.parse().ok()?))
+}
+
 /// Parses the segment number out of a segment file name.
 fn seg_no_of(name: &str) -> Option<u32> {
-    let stem = name.rsplit('/').next()?.strip_suffix(".seg")?;
-    let (_, no) = stem.rsplit_once('-')?;
-    no.parse().ok()
+    seg_ids_of(name).map(|(_, no)| no)
 }
 
 #[cfg(test)]
@@ -627,5 +724,81 @@ mod tests {
         assert_eq!(index_name("d/s0000-00000000.seg"), "d/s0000-00000000.idx");
         assert_eq!(seg_no_of("d/s0003-00000012.seg"), Some(12));
         assert_eq!(seg_no_of("d/other.txt"), None);
+        assert_eq!(seg_ids_of("d/s0003-00000012.seg"), Some((3, 12)));
+        assert_eq!(seg_ids_of("d/x0003-00000012.seg"), None);
+    }
+
+    #[test]
+    fn seal_hook_fires_per_rotation_with_listing_facts() {
+        use std::sync::Mutex;
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let mut store = LogStore::open(
+            Arc::clone(&backend),
+            "d",
+            StoreConfig {
+                segment_bytes: 512,
+                batch_bytes: 64,
+                index_every: 4,
+            },
+        );
+        let seals: Arc<Mutex<Vec<SealInfo>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seals);
+        store.set_seal_hook(Arc::new(move |info| {
+            sink.lock().unwrap().push(info.clone())
+        }));
+        let mut w = store.writer(0);
+        for i in 0..40 {
+            w.append(&raw(2, i, 16));
+        }
+        w.flush();
+        let seals = seals.lock().unwrap();
+        assert!(!seals.is_empty(), "rotation happened");
+        // Seal infos are dense from segment 0 and cover real frames.
+        for (i, s) in seals.iter().enumerate() {
+            assert_eq!(s.seg_no, i as u32);
+            assert_eq!(s.shard, 0);
+            assert_eq!(s.name, segment_name("d", 0, i as u32));
+            assert!(s.frames > 0);
+            assert!(s.bytes > 0);
+            assert!(s.last_seq.is_some());
+        }
+        // Every sealed segment's bytes really are on the backend in
+        // full: the hook fired after the final flush of the segment.
+        for s in seals.iter() {
+            assert_eq!(backend.read(&s.name).unwrap().len() as u64, s.bytes);
+        }
+    }
+
+    #[test]
+    fn seal_manifest_hook_appends_readable_lines() {
+        let backend: Arc<dyn Backend> = Arc::new(MemBackend::new());
+        let mut store = LogStore::open(
+            Arc::clone(&backend),
+            "d",
+            StoreConfig {
+                segment_bytes: 512,
+                batch_bytes: 64,
+                index_every: 4,
+            },
+        );
+        store.set_seal_hook(seal_manifest_hook(Arc::clone(&backend), "d"));
+        let mut w = store.writer(0);
+        for i in 0..40 {
+            w.append(&raw(2, i, 16));
+        }
+        w.flush();
+        let manifest = backend.read(&seals_name("d")).expect("SEALS written");
+        let text = String::from_utf8(manifest).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty());
+        assert!(
+            lines[0].starts_with("sealed s0000-00000000.seg shard=0 frames="),
+            "unexpected manifest line: {}",
+            lines[0]
+        );
+        // One line per sealed segment: the in-progress segment (the
+        // highest-numbered one) has no line.
+        let reader = store.reader();
+        assert_eq!(lines.len(), reader.sealed_segments().len());
     }
 }

@@ -35,6 +35,7 @@ pub mod crates {
     pub use dpm_chaos as chaos;
     pub use dpm_controller as controller;
     pub use dpm_filter as filter;
+    pub use dpm_live as live;
     pub use dpm_logstore as logstore;
     pub use dpm_meter as meter;
     pub use dpm_meterd as meterd;

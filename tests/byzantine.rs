@@ -9,22 +9,19 @@
 
 use dpm::bench_report::BenchEntry;
 use dpm::crates::analysis::{ByzReport, Trace};
-use dpm::crates::logstore::{segment_name, StoreReader};
+use dpm::crates::filter::SimFsBackend;
+use dpm::crates::logstore::StoreReader;
 use dpm::{Descriptions, LogRecord, NetConfig, Simulation};
+use std::sync::Arc;
 
 const HOSTS: [&str; 4] = ["yellow", "red", "green", "blue"];
 const ORDER: u32 = 1;
 const TRAITOR: usize = 2;
 
-fn read_segments(m: &dpm::crates::simos::Machine, dir: &str) -> Vec<Vec<u8>> {
-    let mut segs = Vec::new();
-    for no in 0u32.. {
-        match m.fs().read(&segment_name(dir, 0, no)) {
-            Some(bytes) => segs.push(bytes),
-            None => break,
-        }
-    }
-    segs
+/// Loads the store under `dir` on `m` through the directory-listing
+/// API — discovery by listing, not by probing dense segment names.
+fn load_store(m: &Arc<dpm::crates::simos::Machine>, dir: &str) -> StoreReader {
+    StoreReader::load(&SimFsBackend::new(Arc::clone(m)), dir)
 }
 
 fn render_store(reader: &StoreReader, desc: &Descriptions) -> String {
@@ -71,7 +68,7 @@ fn byzantine_agreement_and_the_traitor_are_verified_from_the_store_log() {
     let desc = Descriptions::standard();
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
     let reader = loop {
-        let reader = StoreReader::from_segment_bytes(read_segments(&red, "/usr/tmp/log.f1"));
+        let reader = load_store(&red, "/usr/tmp/log.f1");
         if render_store(&reader, &desc) == text {
             break reader;
         }

@@ -17,7 +17,7 @@
 use dpm::bench_report::BenchEntry;
 use dpm::crates::analysis::{Analysis, Trace};
 use dpm::crates::filter::{filter_main, FilterEngine};
-use dpm::crates::logstore::{segment_name, StoreReader};
+use dpm::crates::logstore::StoreReader;
 use dpm::crates::meter::{MeterBody, MeterFork, MeterHeader, MeterMsg, MeterSendMsg, SockName};
 use dpm::{
     Cluster, Descriptions, LogRecord, NetConfig, Proc, Rules, Simulation, SysError, SysResult, Uid,
@@ -103,15 +103,13 @@ fn connect_with_retry(p: &Proc, host: &str, port: u16) -> SysResult<dpm::crates:
     }
 }
 
-fn read_store(m: &dpm::crates::simos::Machine, dir: &str) -> StoreReader {
-    let mut segs = Vec::new();
-    for no in 0u32.. {
-        match m.fs().read(&segment_name(dir, 0, no)) {
-            Some(bytes) => segs.push(bytes),
-            None => break,
-        }
-    }
-    StoreReader::from_segment_bytes(segs)
+/// Loads the store under `dir` on `m` through the directory-listing
+/// API — discovery by listing, not by probing dense segment names.
+fn read_store(m: &std::sync::Arc<dpm::crates::simos::Machine>, dir: &str) -> StoreReader {
+    StoreReader::load(
+        &dpm::crates::filter::SimFsBackend::new(std::sync::Arc::clone(m)),
+        dir,
+    )
 }
 
 /// Renders a store's records as log text in *canonical* order —
@@ -141,7 +139,7 @@ fn render_canonical(reader: &StoreReader, desc: &Descriptions) -> String {
 fn run_sources(
     c: &std::sync::Arc<Cluster>,
     target: impl Fn(usize) -> (String, u16),
-    store_on: &dpm::crates::simos::Machine,
+    store_on: &std::sync::Arc<dpm::crates::simos::Machine>,
     dir: &str,
     expected: u64,
 ) -> u64 {

@@ -1,0 +1,248 @@
+//! End-to-end for the live streaming subsystem (E10): a metered
+//! Lamport-mutex job runs while the controller `watch`es its
+//! `log=store` filter. The watch must stream non-empty windows *while
+//! the job is still running* (live, not post-hoc), and at quiescence
+//! the incrementally-built live trace must equal — field for field —
+//! the batch analyses over the same store segments. The bench compares
+//! live ingest/window costs against batch re-analysis at every window.
+
+use dpm::bench_report::BenchEntry;
+use dpm::crates::analysis::{CommStats, HappensBefore, Pairing, Trace};
+use dpm::crates::filter::SimFsBackend;
+use dpm::crates::live::LiveTrace;
+use dpm::crates::logstore::{OwnedFrame, StoreReader};
+use dpm::{Controller, Descriptions, LogRecord, NetConfig, ProcState, Simulation};
+use std::sync::Arc;
+
+const HOSTS: [&str; 4] = ["yellow", "red", "green", "blue"];
+/// Enough rounds that the job spans many real-time filter flushes —
+/// simulated sleeps are virtual (instant), so only protocol volume
+/// stretches the run.
+const ROUNDS: usize = 12;
+
+/// Whether every process of `job` reached a terminal state.
+fn job_done(control: &Controller, job: &str) -> bool {
+    match control.job(job) {
+        None => true,
+        Some(j) => j
+            .procs
+            .iter()
+            .all(|p| matches!(p.state, ProcState::Killed | ProcState::Acquired)),
+    }
+}
+
+#[test]
+fn watch_streams_live_windows_and_equals_batch_at_quiescence() {
+    let sim = Simulation::builder()
+        .machines(HOSTS)
+        .net(NetConfig::ideal())
+        .seed(93)
+        .build();
+    let mut control = sim.controller("yellow").expect("controller");
+    control.exec("filter f1 blue log=store");
+    assert!(
+        control.transcript().contains("created"),
+        "{}",
+        control.transcript()
+    );
+
+    control.exec("newjob mx f1");
+    for (i, m) in HOSTS.iter().enumerate() {
+        control.exec(&format!(
+            "addprocess mx {m} /bin/lmutex {i} {} {ROUNDS} {}",
+            HOSTS.len(),
+            HOSTS.join(" ")
+        ));
+    }
+    control.exec("setflags mx send receive");
+    control.exec("startjob mx");
+
+    // Stream windows while the job runs, polling continuously: the
+    // workload's sleeps are virtual, so the wall-clock run is short. A
+    // window only counts as "live" if the job was still non-terminal
+    // after it closed.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(110);
+    let mut live_windows = 0u32;
+    let mut live_nonempty = 0u32;
+    while !job_done(&control, "mx") {
+        control.exec("watch f1 anomalies");
+        if job_done(&control, "mx") {
+            break;
+        }
+        live_windows += 1;
+        let snap = control.last_window("f1").expect("watch closed a window");
+        if snap.new_records > 0 {
+            live_nonempty += 1;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "job never converged while watching"
+        );
+    }
+    assert!(control.wait_job("mx", 120_000), "mutex job completed");
+    assert!(
+        live_nonempty >= 2,
+        "watch must stream data during the run: {live_nonempty} non-empty of {live_windows} live windows"
+    );
+    let t = control.transcript();
+    assert!(t.contains("watch f1 w0:"), "windows rendered: {t}");
+    assert!(t.contains("anomaly:"), "anomaly lines rendered: {t}");
+
+    // Drain the pipeline, then poll the watch until the live state has
+    // consumed everything the store holds (shard flushes are async).
+    let text = sim.stable_log(&mut control, "f1");
+    assert!(!text.is_empty(), "store filter logged records");
+    let blue = sim.cluster().machine("blue").expect("blue exists");
+    let desc = Descriptions::standard();
+    let drain = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let reader = loop {
+        control.exec("watch f1");
+        let reader = StoreReader::load(&SimFsBackend::new(Arc::clone(&blue)), "/usr/tmp/log.f1");
+        {
+            let live = control.watch_live_mut("f1").expect("state").live_mut();
+            if live.len() as u64 == reader.n_records() && live.reorder_pending() == 0 {
+                break reader;
+            }
+        }
+        assert!(
+            std::time::Instant::now() < drain,
+            "watch never caught up with the sealed store"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    let batch_trace = Trace::from_store(&reader, &desc);
+    let batch_pairing = Pairing::analyze(&batch_trace);
+    let batch_hb = HappensBefore::build(&batch_trace, &batch_pairing);
+    let batch_stats = CommStats::analyze(&batch_trace, &batch_pairing);
+    assert_eq!(batch_trace, Trace::parse(&text), "store and text agree");
+
+    // The tentpole invariant: at quiescence, the incrementally-grown
+    // live state equals the batch analyses, field for field.
+    let live = control
+        .watch_live_mut("f1")
+        .expect("watch state exists")
+        .live_mut();
+    assert_eq!(live.reorder_pending(), 0, "no seq gaps at quiescence");
+    assert_eq!(live.trace(), &batch_trace, "live trace == batch trace");
+    assert_eq!(live.pairing(), &batch_pairing, "live pairing == batch");
+    assert_eq!(live.hb(), &batch_hb, "live happens-before == batch");
+    assert_eq!(live.stats(), &batch_stats, "live stats == batch");
+
+    // ------------------------------------------------------------------
+    // Bench: live ingest throughput, and per-window incremental
+    // analysis vs re-running the batch pipeline at every window.
+    // ------------------------------------------------------------------
+    let frames: Vec<OwnedFrame> = reader.scan().map(|f| OwnedFrame::of(&f)).collect();
+    assert_eq!(frames.len() as u64, reader.n_records());
+
+    let t0 = std::time::Instant::now();
+    let mut lt = LiveTrace::new(desc.clone());
+    lt.ingest_batch(frames.iter().cloned());
+    let ingest = t0.elapsed();
+    assert_eq!(lt.len(), batch_trace.len());
+
+    const BENCH_WINDOWS: usize = 10;
+    let chunk = frames.len().div_ceil(BENCH_WINDOWS).max(1);
+    let mut lt = LiveTrace::new(desc.clone());
+    let (mut live_s, mut batch_s) = (0.0f64, 0.0f64);
+    let mut windows = 0u32;
+    let mut fed = 0;
+    while fed < frames.len() {
+        let n = chunk.min(frames.len() - fed);
+        lt.ingest_batch(frames[fed..fed + n].iter().cloned());
+        fed += n;
+        windows += 1;
+        // Live: the window's incremental cost is ingest + re-derive.
+        let t = std::time::Instant::now();
+        let _ = lt.pairing().messages.len();
+        live_s += t.elapsed().as_secs_f64();
+        // Batch equivalent: rebuild the trace from every frame so far
+        // and re-run the pairing, as a poll-the-store design would.
+        let t = std::time::Instant::now();
+        let mut tr = Trace::default();
+        for fr in &frames[..fed] {
+            if let Some(rec) = LogRecord::from_raw(&desc, &fr.raw, &[]) {
+                tr.push_record(&rec);
+            }
+        }
+        let _ = Pairing::analyze(&tr).messages.len();
+        batch_s += t.elapsed().as_secs_f64();
+    }
+
+    let secs = ingest.as_secs_f64().max(1e-9);
+    let entry = BenchEntry::new("live_stream")
+        .int("frames", frames.len() as u64)
+        .int("trace_events", batch_trace.len() as u64)
+        .int("live_windows", live_windows as u64)
+        .num("ingest_frames_per_sec", frames.len() as f64 / secs)
+        .num("window_live_ms", live_s * 1e3 / windows as f64)
+        .num("window_batch_ms", batch_s * 1e3 / windows as f64)
+        .num("window_speedup", batch_s / live_s.max(1e-9))
+        .text("net", "ideal");
+    let path = dpm::bench_report::record(&entry).expect("bench snapshot written");
+    assert!(path.exists());
+
+    control.exec("bye");
+    sim.shutdown();
+}
+
+/// `tail` renders newly arrived records as text and shares the watch
+/// cursors: a `tail` between `watch`es neither loses nor double-counts
+/// frames for the live trace.
+#[test]
+fn tail_renders_new_records_and_shares_watch_cursors() {
+    let sim = Simulation::builder()
+        .machines(["yellow", "red"])
+        .net(NetConfig::ideal())
+        .seed(17)
+        .build();
+    let mut control = sim.controller("yellow").expect("controller");
+    control.exec("filter f1 red log=store");
+    assert!(control.transcript().contains("created"));
+
+    control.exec("newjob pp f1");
+    for (i, m) in ["yellow", "red"].iter().enumerate() {
+        control.exec(&format!("addprocess pp {m} /bin/lmutex {i} 2 1 yellow red"));
+    }
+    control.exec("setflags pp send receive");
+    control.exec("startjob pp");
+    assert!(control.wait_job("pp", 60_000), "mutex pair completed");
+
+    let text = sim.stable_log(&mut control, "f1");
+    assert!(!text.is_empty());
+
+    control.exec("tail f1 n=5");
+    let t = control.transcript();
+    assert!(t.contains("new record(s)"), "{t}");
+    assert!(t.contains("event=send"), "tail rendered records: {t}");
+
+    // Follow-up watch windows share the tail's cursors: polls converge
+    // on exactly the store's record count, with no frame replayed or
+    // double-counted (shard flushes are async, so poll until caught up).
+    let red = sim.cluster().machine("red").expect("red exists");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        control.exec("watch f1");
+        let reader = StoreReader::load(&SimFsBackend::new(Arc::clone(&red)), "/usr/tmp/log.f1");
+        let live = control.watch_live_mut("f1").expect("state").live_mut();
+        if live.len() as u64 == reader.n_records() && live.reorder_pending() == 0 {
+            assert_eq!(live.replays(), 0, "no frame offered twice past a cursor");
+            assert_eq!(live.duplicates(), 0, "no (machine,pid,seq) double-count");
+            break;
+        }
+        assert!(
+            live.len() as u64 <= reader.n_records(),
+            "live overshot the store: {} > {}",
+            live.len(),
+            reader.n_records()
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "tail/watch cursors never converged on the store contents"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    control.exec("bye");
+    sim.shutdown();
+}

@@ -14,7 +14,7 @@
 
 use dpm::crates::analysis::{Analysis, Trace};
 use dpm::crates::filter::{filter_main, FilterEngine};
-use dpm::crates::logstore::{segment_name, StoreReader};
+use dpm::crates::logstore::StoreReader;
 use dpm::crates::meter::{
     MeterBody, MeterFork, MeterHeader, MeterMsg, MeterSendMsg, MeterTermProc, SockName, TermReason,
 };
@@ -107,19 +107,14 @@ fn connect_with_retry(p: &Proc, host: &str, port: u16) -> SysResult<dpm::crates:
     }
 }
 
-/// Reads every segment of `dir` on `m` by probing the dense segment
-/// names, shard by shard, until one is absent.
-fn read_segments(m: &dpm::crates::simos::Machine, dir: &str, shards: u16) -> Vec<Vec<u8>> {
-    let mut segs = Vec::new();
-    for shard in 0..shards.max(1) {
-        for no in 0u32.. {
-            match m.fs().read(&segment_name(dir, shard, no)) {
-                Some(bytes) => segs.push(bytes),
-                None => break,
-            }
-        }
-    }
-    segs
+/// Loads the store under `dir` on `m` through the directory-listing
+/// API — discovery by listing, not by probing dense segment names
+/// (and so shard-count agnostic).
+fn load_store(m: &std::sync::Arc<dpm::crates::simos::Machine>, dir: &str) -> StoreReader {
+    StoreReader::load(
+        &dpm::crates::filter::SimFsBackend::new(std::sync::Arc::clone(m)),
+        dir,
+    )
 }
 
 /// Renders stored frames exactly the way a text filter logs records:
@@ -196,7 +191,7 @@ fn store_filter_matches_text_filter_on_identical_streams() {
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     let (text_log, reader) = loop {
         let text = mill.fs().read_string(TEXT_LOG).unwrap_or_default();
-        let reader = StoreReader::from_segment_bytes(read_segments(&mill, STORE_LOG, 1));
+        let reader = load_store(&mill, STORE_LOG);
         if text.lines().count() == expected_lines && reader.n_records() == expected_lines as u64 {
             break (text, reader);
         }
@@ -335,7 +330,7 @@ fn controller_session_with_store_filter() {
     let desc = Descriptions::standard();
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
     let reader = loop {
-        let reader = StoreReader::from_segment_bytes(read_segments(&blue, "/usr/tmp/log.f1", 1));
+        let reader = load_store(&blue, "/usr/tmp/log.f1");
         if render_store(&reader, &desc) == text {
             break reader;
         }
