@@ -16,6 +16,11 @@
 //! can prepend the failing plan's seed and spec (see
 //! [`FaultPlan::describe`](crate::FaultPlan::describe)) — the one
 //! line needed to replay the failure.
+//!
+//! Every violation also dumps the telemetry flight recorder
+//! ([`dpm_telemetry::dump_failure`]): the recent retries, heals, and
+//! give-ups that led up to the bad store are exactly the context a
+//! post-mortem needs, and they are gone once the run is torn down.
 
 use std::collections::HashMap;
 
@@ -75,12 +80,14 @@ pub fn check_no_duplicates(reader: &StoreReader) -> Result<SeqCensus, String> {
         sorted.sort_unstable();
         for pair in sorted.windows(2) {
             if pair[0] == pair[1] {
-                return Err(format!(
+                let msg = format!(
                     "duplicate record: machine {machine} pid {pid} seq {} appears twice \
                      ({} records for that process)",
                     pair[0],
                     seqs.len()
-                ));
+                );
+                dpm_telemetry::dump_failure(&format!("invariant no-duplicates failed: {msg}"));
+                return Err(msg);
             }
         }
     }
@@ -106,11 +113,13 @@ pub fn check_gapless(reader: &StoreReader) -> Result<SeqCensus, String> {
         for (i, &seq) in sorted.iter().enumerate() {
             let expect = (i + 1) as u32;
             if seq != expect {
-                return Err(format!(
+                let msg = format!(
                     "lost record: machine {machine} pid {pid} expected seq {expect}, \
                      found {seq} (process has {} distinct seqs)",
                     sorted.len()
-                ));
+                );
+                dpm_telemetry::dump_failure(&format!("invariant gapless failed: {msg}"));
+                return Err(msg);
             }
         }
     }

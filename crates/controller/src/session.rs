@@ -423,6 +423,7 @@ impl Controller {
             "watch" => self.cmd_watch(&args),
             "tail" => self.cmd_tail(&args),
             "check" => self.cmd_check(&args),
+            "stats" => self.cmd_stats(&args),
             "source" => self.cmd_source(&args, depth),
             "sink" => self.cmd_sink(&args),
             "input" => self.cmd_input(&args),
@@ -460,6 +461,7 @@ impl Controller {
         self.emit("  watch <filtername> [windows=<n>] [interval=<ms>] [anomalies]");
         self.emit("  tail <filtername> [n=<records>]");
         self.emit("  check <filtername> <mutex|byzantine>");
+        self.emit("  stats [<component>]   (monitor self-telemetry; e.g. stats e2e)");
         self.emit("  source <filename>       sink [<filename>]");
         self.emit("  input <jobname> <process> <text>");
         self.emit("  die (aliases: exit, bye)");
@@ -1521,6 +1523,20 @@ impl Controller {
             }
         };
         for line in report.lines() {
+            self.emit(line);
+        }
+    }
+
+    /// `stats [<component>]` — the monitor's self-telemetry: per-stage
+    /// counters, gauges, and latency histograms from every component
+    /// in the simulation (meterdaemons, filters, the log store, the
+    /// live engine), aggregated across machines by label. The optional
+    /// component argument narrows the readout (`stats e2e` shows the
+    /// end-to-end staleness chain).
+    fn cmd_stats(&mut self, args: &[&str]) {
+        let filter = args.first().copied();
+        let text = dpm_telemetry::registry().snapshot().render_stats(filter);
+        for line in text.lines() {
             self.emit(line);
         }
     }

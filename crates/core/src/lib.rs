@@ -43,6 +43,7 @@ pub use dpm_meter as meter;
 pub use dpm_meterd as meterd;
 pub use dpm_simnet as simnet;
 pub use dpm_simos as simos;
+pub use dpm_telemetry as telemetry;
 pub use dpm_workloads as workloads;
 
 pub use dpm_analysis::Analysis;
@@ -141,6 +142,10 @@ impl SimulationBuilder {
     /// Panics when no machines were added or a name repeats, as
     /// [`Cluster::builder`] does.
     pub fn build(self) -> Simulation {
+        // A panicking component should leave its flight recorder
+        // behind: the recent retries/heals/give-ups are the context a
+        // post-mortem needs and are lost with the process otherwise.
+        dpm_telemetry::install_panic_hook();
         let mut b = Cluster::builder();
         if let Some(net) = self.net {
             b = b.net(net);

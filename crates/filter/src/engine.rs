@@ -110,6 +110,15 @@ impl<'a> RecordView<'a> {
         ])
     }
 
+    /// The header's `cpu_time` stamp (emitting machine's local clock,
+    /// milliseconds), read in place. The ingest side subtracts this
+    /// from its own machine clock for the emit→ingest staleness
+    /// readout — honest only up to the skew between the two clocks,
+    /// which is the paper's own caveat about distributed timestamps.
+    pub fn cpu_time(&self) -> u32 {
+        u32::from_le_bytes([self.bytes[8], self.bytes[9], self.bytes[10], self.bytes[11]])
+    }
+
     /// The header's per-process sequence number, read in place. `0`
     /// means unsequenced (pre-sequence producers); see
     /// [`dpm_meter::MeterHeader::seq`].

@@ -56,6 +56,12 @@ pub fn run_edge(p: &Proc, args: &FilterArgs, desc: Descriptions, rules: Rules) -
             let up = connect_backoff(&c, &host, up_port, upstream_backoff())?;
             let mut engine = FilterEngine::new(desc, rules);
             let mut batch = Vec::new();
+            let machine = c.machine().clone();
+            let r = dpm_telemetry::registry();
+            let accepted = r.counter("edge", "accepted", machine.name());
+            let rejected = r.counter("edge", "rejected", machine.name());
+            let staleness = r.histogram("e2e", "emit_to_ingest_ms", machine.name());
+            let mut last = engine.stats();
             loop {
                 let data = c.read(conn, 4096)?;
                 if data.is_empty() {
@@ -63,8 +69,17 @@ pub fn run_edge(p: &Proc, args: &FilterArgs, desc: Descriptions, rules: Rules) -
                 }
                 batch.clear();
                 engine.feed_records(&data, &mut |view, _rec| {
+                    // Edge and meter share one machine, so its clock is
+                    // the right "now" for the emit→ingest readout.
+                    staleness.record(u64::from(
+                        machine.clock().now_ms().saturating_sub(view.cpu_time()),
+                    ));
                     batch.extend_from_slice(view.bytes());
                 });
+                let stats = engine.stats();
+                accepted.add(stats.kept.saturating_sub(last.kept));
+                rejected.add(stats.rejected.saturating_sub(last.rejected));
+                last = stats;
                 if !batch.is_empty() {
                     // One write per input chunk: whole records only,
                     // so the upstream sees clean record framing.

@@ -37,7 +37,7 @@ use crate::args::{FilterArgs, FilterRole};
 use crate::desc::Descriptions;
 use crate::prefilter::run_edge;
 use crate::rules::Rules;
-use crate::shard::{ShardLog, ShardSink, ShardedFilter, DEFAULT_BATCH_BYTES};
+use crate::shard::{IngestClock, ShardLog, ShardSink, ShardedFilter, DEFAULT_BATCH_BYTES};
 use crate::store::SimFsBackend;
 use crate::tree::run_aggregate;
 use dpm_logstore::{seal_manifest_hook, Backend, LogStore, StoreConfig};
@@ -90,6 +90,14 @@ pub fn filter_main(p: Proc, args: Vec<String>) -> SysResult<()> {
 fn run_leaf(p: &Proc, args: &FilterArgs, desc: Descriptions, rules: Rules) -> SysResult<()> {
     let shards = args.shards.max(1) as usize;
     let log_path = args.logfile.clone();
+    // Shard workers are plain OS threads with no Proc of their own;
+    // hand them this machine's clock so they can stamp the
+    // emit→ingest staleness histogram in the meter header's own
+    // millisecond domain.
+    let ingest_clock: IngestClock = {
+        let m = Arc::clone(p.machine());
+        Arc::new(move || m.clock().now_ms())
+    };
 
     // The shard workers are real threads; each log destination writes
     // to the filter machine's file system. Text batches end on line
@@ -106,22 +114,27 @@ fn run_leaf(p: &Proc, args: &FilterArgs, desc: Descriptions, rules: Rules) -> Sy
         // so live consumers (controller `watch`) see rotations as they
         // happen instead of probing for them.
         store.set_seal_hook(seal_manifest_hook(backend, &log_path));
-        Arc::new(ShardedFilter::with_logs(
+        Arc::new(ShardedFilter::with_logs_clocked(
             shards,
             desc,
             rules,
             DEFAULT_BATCH_BYTES,
+            Some(ingest_clock),
             |shard| ShardLog::Store(Box::new(store.writer(shard as u16))),
         ))
     } else {
-        Arc::new(ShardedFilter::new(
+        Arc::new(ShardedFilter::with_logs_clocked(
             shards,
             desc,
             rules,
-            |_shard| -> ShardSink {
+            DEFAULT_BATCH_BYTES,
+            Some(ingest_clock),
+            |_shard| -> ShardLog {
                 let writer = p.clone();
                 let path = log_path.clone();
-                Box::new(move |batch: &[u8]| writer.machine().fs().append(&path, batch))
+                ShardLog::Text(Box::new(move |batch: &[u8]| {
+                    writer.machine().fs().append(&path, batch)
+                }) as ShardSink)
             },
         ))
     };

@@ -35,12 +35,19 @@ use crate::engine::{FilterEngine, FilterStats, RecordView};
 use crate::log::LogRecord;
 use crate::rules::Rules;
 use dpm_logstore::SegmentWriter;
+use dpm_telemetry::{Counter, Gauge, Histogram};
 use std::collections::HashMap;
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// The ingesting side's clock, for the emit→ingest staleness readout:
+/// returns "now" in the same machine-local milliseconds the meter
+/// header's `cpu_time` is stamped in. `None` (library/test use, where
+/// there is no machine) skips the staleness histogram.
+pub type IngestClock = Arc<dyn Fn() -> u32 + Send + Sync>;
 
 /// Bytes of rendered log lines a shard accumulates before writing a
 /// batch to its sink (it also flushes on idle, close, and shutdown).
@@ -155,6 +162,9 @@ pub struct ConnHandle {
     conn: u64,
     shard: usize,
     tx: Sender<Msg>,
+    /// The owning shard's queue-depth gauge: feeds increment it, the
+    /// worker decrements as it drains.
+    depth: Arc<Gauge>,
 }
 
 impl ConnHandle {
@@ -166,10 +176,16 @@ impl ConnHandle {
     /// Feeds a chunk of this connection's stream to its shard.
     /// Silently drops data after the pipeline has shut down.
     pub fn feed(&self, bytes: Vec<u8>) {
-        let _ = self.tx.send(Msg::Data {
-            conn: self.conn,
-            bytes,
-        });
+        if self
+            .tx
+            .send(Msg::Data {
+                conn: self.conn,
+                bytes,
+            })
+            .is_ok()
+        {
+            self.depth.add(1);
+        }
     }
 
     /// Marks the stream finished: the shard retires the connection's
@@ -202,7 +218,36 @@ pub struct ShardedFilter {
     senders: Vec<Sender<Msg>>,
     workers: Vec<JoinHandle<()>>,
     counters: Vec<Arc<ShardCounters>>,
+    depths: Vec<Arc<Gauge>>,
     next_conn: AtomicU64,
+}
+
+/// Per-shard self-telemetry handles shared by feeders and the worker.
+struct ShardTelemetry {
+    /// Messages queued but not yet drained by the worker.
+    depth: Arc<Gauge>,
+    /// Bytes discarded while resynchronizing on garbage input.
+    resync_bytes: Arc<Counter>,
+    /// Emit→ingest staleness, machine-local milliseconds (only when an
+    /// [`IngestClock`] was supplied).
+    staleness: Option<(Arc<Histogram>, IngestClock)>,
+}
+
+impl ShardTelemetry {
+    fn register(shard: usize, clock: Option<&IngestClock>) -> ShardTelemetry {
+        let r = dpm_telemetry::registry();
+        let label = format!("s{shard}");
+        ShardTelemetry {
+            depth: r.gauge("filter", "queue_depth", &label),
+            resync_bytes: r.counter("filter", "resync_bytes", &label),
+            staleness: clock.map(|c| {
+                (
+                    r.histogram("e2e", "emit_to_ingest_ms", &label),
+                    Arc::clone(c),
+                )
+            }),
+        }
+    }
 }
 
 impl ShardedFilter {
@@ -241,6 +286,23 @@ impl ShardedFilter {
         desc: Descriptions,
         rules: Rules,
         batch_bytes: usize,
+        make_log: F,
+    ) -> ShardedFilter
+    where
+        F: FnMut(usize) -> ShardLog,
+    {
+        ShardedFilter::with_logs_clocked(shards, desc, rules, batch_bytes, None, make_log)
+    }
+
+    /// [`ShardedFilter::with_logs`] plus the ingesting machine's clock,
+    /// which turns on the per-record emit→ingest staleness histogram
+    /// (see [`IngestClock`]).
+    pub fn with_logs_clocked<F>(
+        shards: usize,
+        desc: Descriptions,
+        rules: Rules,
+        batch_bytes: usize,
+        clock: Option<IngestClock>,
         mut make_log: F,
     ) -> ShardedFilter
     where
@@ -250,10 +312,13 @@ impl ShardedFilter {
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         let mut counters = Vec::with_capacity(shards);
+        let mut depths = Vec::with_capacity(shards);
         for shard in 0..shards {
             let (tx, rx) = mpsc::channel();
             let ctrs = Arc::new(ShardCounters::default());
             let log = make_log(shard);
+            let tm = ShardTelemetry::register(shard, clock.as_ref());
+            depths.push(Arc::clone(&tm.depth));
             let worker_desc = desc.clone();
             let worker_rules = rules.clone();
             let worker_ctrs = Arc::clone(&ctrs);
@@ -261,7 +326,15 @@ impl ShardedFilter {
                 std::thread::Builder::new()
                     .name(format!("filter-shard-{shard}"))
                     .spawn(move || {
-                        shard_worker(rx, worker_desc, worker_rules, log, worker_ctrs, batch_bytes)
+                        shard_worker(
+                            rx,
+                            worker_desc,
+                            worker_rules,
+                            log,
+                            worker_ctrs,
+                            batch_bytes,
+                            tm,
+                        )
                     })
                     .expect("spawn shard worker"),
             );
@@ -272,6 +345,7 @@ impl ShardedFilter {
             senders,
             workers,
             counters,
+            depths,
             next_conn: AtomicU64::new(0),
         }
     }
@@ -290,6 +364,7 @@ impl ShardedFilter {
             conn,
             shard,
             tx: self.senders[shard].clone(),
+            depth: Arc::clone(&self.depths[shard]),
         }
     }
 
@@ -344,6 +419,7 @@ fn shard_worker(
     log: ShardLog,
     counters: Arc<ShardCounters>,
     batch_bytes: usize,
+    tm: ShardTelemetry,
 ) {
     let mut engines: HashMap<u64, FilterEngine> = HashMap::new();
     let mut logger = ShardLogger {
@@ -353,6 +429,8 @@ fn shard_worker(
     };
     // Stats of connections already closed and retired.
     let mut retired = FilterStats::default();
+    // Garbage bytes already credited to the resync counter.
+    let mut last_garbage = 0u64;
 
     loop {
         // Drain eagerly; flush the partial batch only when idle so a
@@ -370,10 +448,14 @@ fn shard_worker(
         };
         match msg {
             Msg::Data { conn, bytes } => {
+                tm.depth.add(-1);
                 let engine = engines
                     .entry(conn)
                     .or_insert_with(|| FilterEngine::new(desc.clone(), rules.clone()));
                 engine.feed_records(&bytes, &mut |view, rec: LogRecord| {
+                    if let Some((hist, clock)) = &tm.staleness {
+                        hist.record(u64::from(clock().saturating_sub(view.cpu_time())));
+                    }
                     logger.write(view, &rec);
                 });
             }
@@ -392,6 +474,9 @@ fn shard_worker(
         let live = engines
             .values()
             .fold(retired, |acc, e| acc.merge(&e.stats()));
+        tm.resync_bytes
+            .add(live.garbage_bytes.saturating_sub(last_garbage));
+        last_garbage = last_garbage.max(live.garbage_bytes);
         counters.publish(live);
     }
     logger.flush();

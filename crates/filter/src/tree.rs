@@ -244,7 +244,12 @@ pub fn run_aggregate(
     // the mutex), the machine's file system, and the forward channel.
     let flusher = {
         let shared = Arc::clone(&shared);
+        let r = dpm_telemetry::registry();
+        let dedup_hits = r.counter("agg", "dedup_hits", p.machine().name());
+        let pending_gauge = r.gauge("agg", "pending_bytes", p.machine().name());
         std::thread::spawn(move || {
+            // Duplicates already credited to the dedup counter.
+            let mut last_dups = 0u64;
             loop {
                 std::thread::sleep(std::time::Duration::from_millis(5));
                 let done = shared.done.load(Ordering::Acquire);
@@ -254,6 +259,9 @@ pub fn run_aggregate(
                         st.last_touch.elapsed() >= std::time::Duration::from_millis(QUIET_MS);
                     let idle = st.open_conns == 0 && quiet;
                     let oversized = st.merge.pending_bytes() > MAX_PENDING_BYTES;
+                    dedup_hits.add(st.merge.duplicates().saturating_sub(last_dups));
+                    last_dups = last_dups.max(st.merge.duplicates());
+                    pending_gauge.set(st.merge.pending_bytes() as i64);
                     if st.merge.pending_len() > 0 && (idle || oversized || done) {
                         st.merge.drain()
                     } else {

@@ -52,7 +52,9 @@ use dpm_analysis::{CommStats, HappensBefore, PairQueues, Pairing, ProcKey, ProcS
 use dpm_analysis::{EventKind, SizeHistogram};
 use dpm_filter::{Descriptions, LogRecord, RecordView};
 use dpm_logstore::OwnedFrame;
+use dpm_telemetry::{Gauge, Histogram};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Memoized derived analyses, valid for one trace version.
 struct Cached {
@@ -84,6 +86,12 @@ pub struct LiveTrace {
     /// Bumped per applied event; keys the memo cache.
     version: u64,
     cache: Option<Cached>,
+    /// Store timestamp (`ts_us`) of the newest applied frame.
+    last_ts_us: u64,
+    /// Self-telemetry: reorder-buffer occupancy (live/reorder_pending)
+    /// and append→apply staleness (e2e/append_to_apply_us).
+    tm_pending: Arc<Gauge>,
+    tm_apply_lag: Arc<Histogram>,
 }
 
 impl std::fmt::Debug for LiveTrace {
@@ -114,6 +122,9 @@ impl LiveTrace {
             undecodable: 0,
             version: 0,
             cache: None,
+            last_ts_us: 0,
+            tm_pending: dpm_telemetry::registry().gauge("live", "reorder_pending", ""),
+            tm_apply_lag: dpm_telemetry::registry().histogram("e2e", "append_to_apply_us", ""),
         }
     }
 
@@ -137,6 +148,7 @@ impl LiveTrace {
                 }
             }
         }
+        self.tm_pending.set(self.reorder.len() as i64);
     }
 
     /// Ingests a batch of frames.
@@ -149,6 +161,12 @@ impl LiveTrace {
     /// Applies one frame in order: dedup, decode, append, fold into
     /// the incremental accumulators.
     fn apply(&mut self, frame: OwnedFrame) {
+        // `ts_us` and `now_us()` share the telemetry epoch when the
+        // store runs in-process, so the difference is the frame's age
+        // at apply time: how far the live view trails the appended log.
+        self.tm_apply_lag
+            .record(dpm_telemetry::now_us().saturating_sub(frame.ts_us));
+        self.last_ts_us = self.last_ts_us.max(frame.ts_us);
         if frame.raw.len() < dpm_filter::desc::HEADER_LEN {
             self.undecodable += 1;
             return;
@@ -197,6 +215,12 @@ impl LiveTrace {
     /// Frames buffered ahead of a seq gap.
     pub fn reorder_pending(&self) -> usize {
         self.reorder.len()
+    }
+
+    /// Store timestamp (`ts_us`, telemetry-epoch microseconds) of the
+    /// newest applied frame — 0 before anything applies.
+    pub fn last_ts_us(&self) -> u64 {
+        self.last_ts_us
     }
 
     /// Frames dropped by the `(machine, pid, meter seq)` dedup.

@@ -136,6 +136,7 @@ impl LiveWatch {
     /// Closes the current window: summarizes everything applied since
     /// the previous close, scores it, and starts the next window.
     pub fn close_window(&mut self) -> WindowSnapshot {
+        let close_began = dpm_telemetry::now_us();
         // Per-process count vectors over this window's events.
         let mut counts: HashMap<ProcKey, [f64; KIND_BUCKETS]> = HashMap::new();
         let events = &self.lt.trace().events[self.mark..];
@@ -174,6 +175,15 @@ impl LiveWatch {
         };
         self.mark = self.lt.len();
         self.window_no += 1;
+        let r = dpm_telemetry::registry();
+        r.histogram("live", "window_close_us", "")
+            .record(dpm_telemetry::now_us().saturating_sub(close_began));
+        // Age of the newest applied frame at window close: the end of
+        // the append→window leg of the end-to-end staleness chain.
+        if self.lt.last_ts_us() > 0 {
+            r.histogram("e2e", "append_to_window_us", "")
+                .record(dpm_telemetry::now_us().saturating_sub(self.lt.last_ts_us()));
+        }
         snap
     }
 }

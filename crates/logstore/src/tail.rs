@@ -24,7 +24,16 @@
 use crate::backend::Backend;
 use crate::format::{decode_frame, decode_seg_header, ProcId, SEG_HEADER_LEN};
 use crate::reader::{list_segments, Frame};
+use dpm_telemetry::Counter;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// Bytes offered again that the tail had already consumed — the
+/// re-fetch cost of polling in-progress segments whole.
+fn reparse_counter() -> &'static Counter {
+    static C: OnceLock<Arc<Counter>> = OnceLock::new();
+    C.get_or_init(|| dpm_telemetry::registry().counter("tail", "reparse_bytes", ""))
+}
 
 /// One stored record that owns its bytes — the live-streaming
 /// counterpart of the borrowed [`Frame`], for handing records across
@@ -77,6 +86,7 @@ impl StoreTail {
     /// ignored entirely (the header may itself still be in flight).
     pub fn offer_segment(&mut self, name: &str, bytes: &[u8]) -> Vec<OwnedFrame> {
         let off = self.offsets.entry(name.to_owned()).or_insert(0);
+        reparse_counter().add((*off).min(bytes.len()) as u64);
         if *off == 0 {
             if decode_seg_header(bytes).is_none() {
                 return Vec::new();

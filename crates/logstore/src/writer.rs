@@ -31,6 +31,7 @@ use crate::backend::Backend;
 use crate::format::{decode_seg_header, encode_frame, encode_seg_header, proc_id_of, Envelope};
 use crate::index::SegmentIndex;
 use crate::reader::StoreReader;
+use dpm_telemetry::{Counter, Histogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -164,8 +165,19 @@ impl LogStore {
             dir: dir.to_owned(),
             cfg,
             seq: Arc::new(AtomicU64::new(max_seq.map_or(0, |m| m + 1))),
-            origin: Instant::now(),
-            ts_base: if max_seq.is_some() { max_ts + 1 } else { 0 },
+            // The process-wide telemetry epoch, not a private Instant:
+            // every store stamps `ts_us` on the same real-time axis, so
+            // downstream stages can subtract a frame's `ts_us` from
+            // `dpm_telemetry::now_us()` to measure pipeline staleness.
+            // On reopen, `ts_base` only lifts stamps enough to clear
+            // the stored high-water mark; once the epoch clock passes
+            // it, stamps are back on the shared axis exactly.
+            origin: dpm_telemetry::epoch(),
+            ts_base: if max_seq.is_some() {
+                (max_ts + 1).saturating_sub(dpm_telemetry::now_us())
+            } else {
+                0
+            },
             seal_hook: None,
         }
     }
@@ -239,8 +251,41 @@ pub struct SegmentWriter {
     last_ts: u64,
     /// Seq of the last frame appended to the current segment.
     seg_last_seq: Option<u64>,
+    /// Store timestamp of the current segment's first frame, for the
+    /// append→seal staleness readout.
+    seg_first_ts: Option<u64>,
     /// Invoked after sealing a segment in [`SegmentWriter::roll`].
     seal_hook: Option<SealHook>,
+    /// Per-shard self-telemetry handles (registered once at open).
+    tm: WriterTelemetry,
+}
+
+/// Cached global-registry handles for one shard writer.
+struct WriterTelemetry {
+    /// Size of each committed group-commit batch, bytes.
+    flush_bytes: Arc<Histogram>,
+    /// Torn tails truncated back before a flush retry.
+    torn_heals: Arc<Counter>,
+    /// Flushes that exhausted every retry and kept the batch.
+    flush_failures: Arc<Counter>,
+    /// Segments sealed by rotation.
+    seals: Arc<Counter>,
+    /// Age of a segment at seal time: seal − first append, µs.
+    seal_age_us: Arc<Histogram>,
+}
+
+impl WriterTelemetry {
+    fn register(shard: u16) -> WriterTelemetry {
+        let r = dpm_telemetry::registry();
+        let label = format!("s{shard}");
+        WriterTelemetry {
+            flush_bytes: r.histogram("store", "flush_batch_bytes", &label),
+            torn_heals: r.counter("store", "torn_heals", &label),
+            flush_failures: r.counter("store", "flush_failures", &label),
+            seals: r.counter("store", "seals", &label),
+            seal_age_us: r.histogram("e2e", "append_to_seal_us", &label),
+        }
+    }
 }
 
 impl std::fmt::Debug for SegmentWriter {
@@ -283,7 +328,9 @@ impl SegmentWriter {
             appended: 0,
             last_ts: 0,
             seg_last_seq: None,
+            seg_first_ts: None,
             seal_hook,
+            tm: WriterTelemetry::register(shard),
         };
         w.recover();
         w
@@ -378,6 +425,7 @@ impl SegmentWriter {
         self.index.push(seq, ts_us, env.proc, off);
         self.appended += 1;
         self.seg_last_seq = Some(seq);
+        self.seg_first_ts.get_or_insert(ts_us);
         if self.durable + self.batch.len() >= self.cfg.segment_bytes {
             self.roll();
         } else if self.batch.len() >= self.cfg.batch_bytes {
@@ -411,6 +459,12 @@ impl SegmentWriter {
                 if let Some(cur) = self.backend.read(&name) {
                     if cur.len() > self.durable {
                         self.backend.write(&name, &cur[..self.durable]);
+                        self.tm.torn_heals.inc();
+                        dpm_telemetry::note(
+                            "store",
+                            &format!("s{}", self.shard),
+                            format!("healed torn tail of {name} back to {} bytes", self.durable),
+                        );
                     }
                 }
             }
@@ -428,8 +482,15 @@ impl SegmentWriter {
                     self.backend.write(&name, &cur[..self.durable]);
                 }
             }
+            self.tm.flush_failures.inc();
+            dpm_telemetry::note(
+                "store",
+                &format!("s{}", self.shard),
+                format!("flush of {name} failed after {TRIES} tries; batch kept"),
+            );
             return;
         }
+        self.tm.flush_bytes.record(self.batch.len() as u64);
         self.durable += self.batch.len();
         self.batch.clear();
         self.index.data_len = self.durable as u64;
@@ -449,6 +510,21 @@ impl SegmentWriter {
     /// listing facts.
     fn roll(&mut self) {
         self.flush();
+        self.tm.seals.inc();
+        if let Some(first_ts) = self.seg_first_ts {
+            // Seal latency on the shared store-timestamp axis: how old
+            // the segment's first record is when the segment seals.
+            let seal_ts = self.now_us();
+            self.tm.seal_age_us.record(seal_ts.saturating_sub(first_ts));
+        }
+        dpm_telemetry::note(
+            "store",
+            &format!("s{}", self.shard),
+            format!(
+                "sealed segment {} ({} frames, {} bytes)",
+                self.seg_no, self.index.n_records, self.durable
+            ),
+        );
         if let Some(hook) = self.seal_hook.clone() {
             hook(&SealInfo {
                 name: segment_name(&self.dir, self.shard, self.seg_no),
@@ -464,6 +540,7 @@ impl SegmentWriter {
         self.index = SegmentIndex::new(self.cfg.index_every);
         self.need_header = true;
         self.seg_last_seq = None;
+        self.seg_first_ts = None;
     }
 }
 

@@ -192,17 +192,39 @@ pub fn rpc_call_retry(
         inner: Box::new(req.clone()),
     }
     .encode();
+    // Per-link RPC health, labelled by the (caller, callee) pair so a
+    // partition shows up on exactly the affected link.
+    let link = format!("{}->{}", p.machine().name(), host);
+    let r = dpm_telemetry::registry();
     loop {
         let last = match rpc_attempt(p, host, &wire, timeout_ms) {
             Ok(Attempt::Got(reply)) => return Ok(reply),
-            Ok(Attempt::Unreachable) => RpcStatus::Unavailable,
-            Ok(Attempt::TimedOut) => RpcStatus::Timeout,
+            Ok(Attempt::Unreachable) => {
+                r.counter("meterd", "rpc_unreachable", &link).inc();
+                RpcStatus::Unavailable
+            }
+            Ok(Attempt::TimedOut) => {
+                r.counter("meterd", "rpc_timeouts", &link).inc();
+                RpcStatus::Timeout
+            }
             Err(SysError::Killed) => return Err(SysError::Killed),
-            Err(_) => RpcStatus::Unavailable,
+            Err(_) => {
+                r.counter("meterd", "rpc_unreachable", &link).inc();
+                RpcStatus::Unavailable
+            }
         };
         if !retry.wait(p)? {
+            dpm_telemetry::note(
+                "meterd",
+                &link,
+                format!(
+                    "rpc {req_id} gave up after {} retries ({last:?})",
+                    retry.attempts()
+                ),
+            );
             return Ok(Reply::Ack { status: last });
         }
+        r.counter("meterd", "rpc_retries", &link).inc();
     }
 }
 
@@ -401,6 +423,9 @@ fn serve_one(
     let Some(frame) = read_frame(p, conn)? else {
         return Ok(());
     };
+    dpm_telemetry::registry()
+        .counter("meterd", "rpc_served", p.machine().name())
+        .inc();
     let req = match Request::decode(&frame) {
         Ok(r) => r,
         Err(_e) => {
@@ -420,6 +445,9 @@ fn serve_one(
     };
     if let Some(id) = req_id {
         if let Some(cached) = replies.lock().get(id) {
+            dpm_telemetry::registry()
+                .counter("meterd", "replay_hits", p.machine().name())
+                .inc();
             p.write(conn, &cached)?;
             return Ok(());
         }

@@ -115,7 +115,18 @@ pub fn connect_backoff(p: &Proc, host: &str, port: u16, mut policy: Backoff) -> 
             Ok(()) => return Ok(s),
             Err(SysError::Econnrefused) => {
                 p.close(s)?;
+                dpm_telemetry::registry()
+                    .counter("net", "connect_retries", host)
+                    .inc();
                 if !policy.wait(p)? {
+                    dpm_telemetry::note(
+                        "net",
+                        host,
+                        format!(
+                            "connect to {host}:{port} gave up after {} tries",
+                            policy.attempts()
+                        ),
+                    );
                     return Err(SysError::Econnrefused);
                 }
             }

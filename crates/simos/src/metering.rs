@@ -145,6 +145,9 @@ fn flush(k: &mut KernState, machine: &Machine, cluster: &Cluster, pid: Pid) -> O
         _ => return None, // unconnected meter socket: messages lost
     };
     let latency = cluster.sample_latency(machine.id(), peer.host);
+    dpm_telemetry::registry()
+        .histogram("meter", "flush_bytes", machine.name())
+        .record(bytes.len() as u64);
     Some(FlushPlan {
         peer,
         bytes,

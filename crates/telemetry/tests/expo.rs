@@ -1,0 +1,61 @@
+//! Golden test pinning the exposition formats. Downstream scrapers
+//! and the CI artifact parse these texts; a format change must show
+//! up here as a deliberate diff, not an accident.
+
+use dpm_telemetry::Registry;
+
+fn sample_registry() -> Registry {
+    let r = Registry::new();
+    r.counter("meterd", "rpc_retries", "bsd1->bsd2").add(3);
+    r.counter("filter", "accepted", "").add(120);
+    r.gauge("live", "reorder_pending", "").set(2);
+    let h = r.histogram("store", "seal_us", "s0");
+    for v in [100u64, 200, 300, 5000] {
+        h.record(v);
+    }
+    r
+}
+
+#[test]
+fn prometheus_exposition_is_pinned() {
+    let got = sample_registry().snapshot().render_prometheus();
+    let want = "\
+dpm_filter_accepted 120
+dpm_live_reorder_pending 2
+dpm_meterd_rpc_retries{label=\"bsd1->bsd2\"} 3
+dpm_store_seal_us_count{label=\"s0\"} 4
+dpm_store_seal_us_sum{label=\"s0\"} 5600
+dpm_store_seal_us_max{label=\"s0\"} 5000
+dpm_store_seal_us{label=\"s0\",quantile=\"0.5\"} 255
+dpm_store_seal_us{label=\"s0\",quantile=\"0.95\"} 5000
+dpm_store_seal_us{label=\"s0\",quantile=\"0.99\"} 5000
+";
+    assert_eq!(got, want, "Prometheus text format drifted");
+}
+
+#[test]
+fn json_snapshot_is_pinned() {
+    let got = sample_registry().snapshot().render_json();
+    let want = "\
+{
+\"filter/accepted\": {\"type\": \"counter\", \"value\": 120},
+\"live/reorder_pending\": {\"type\": \"gauge\", \"value\": 2},
+\"meterd/rpc_retries{bsd1->bsd2}\": {\"type\": \"counter\", \"value\": 3},
+\"store/seal_us{s0}\": {\"type\": \"histogram\", \"count\": 4, \"sum\": 5600, \"max\": 5000, \"p50\": 255, \"p95\": 5000, \"p99\": 5000}
+}
+";
+    assert_eq!(got, want, "line-JSON snapshot format drifted");
+}
+
+#[test]
+fn stats_readout_aggregates_across_labels() {
+    let r = sample_registry();
+    r.counter("meterd", "rpc_retries", "bsd1->bsd3").add(2);
+    let txt = r.snapshot().render_stats(Some("meterd"));
+    let want = "\
+meterd/rpc_retries: 5
+  bsd1->bsd2: 3
+  bsd1->bsd3: 2
+";
+    assert_eq!(txt, want, "stats readout format drifted");
+}

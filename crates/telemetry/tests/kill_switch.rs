@@ -1,0 +1,28 @@
+//! The runtime kill switch, in its own test binary: toggling the
+//! process-global ENABLED flag would race with recording tests that
+//! share a binary, so this one runs alone.
+
+use dpm_telemetry::{set_enabled, Counter, Gauge, Histogram};
+
+#[test]
+fn kill_switch_stops_all_recording() {
+    let c = Counter::new();
+    let g = Gauge::new();
+    let h = Histogram::new();
+
+    set_enabled(false);
+    c.inc();
+    g.set(7);
+    h.record(100);
+    assert_eq!(c.get(), 0);
+    assert_eq!(g.get(), 0);
+    assert_eq!(h.snapshot().count, 0);
+
+    set_enabled(true);
+    c.inc();
+    g.set(7);
+    h.record(100);
+    assert_eq!(c.get(), 1);
+    assert_eq!(g.get(), 7);
+    assert_eq!(h.snapshot().count, 1);
+}

@@ -1,0 +1,103 @@
+//! Property tests for the log2 histogram: merge is a commutative
+//! monoid, quantile readout stays within the rank bucket's edges, and
+//! counts saturate instead of wrapping at capacity.
+
+use proptest::prelude::*;
+
+use dpm_telemetry::{bucket_bounds, HistSnapshot, Histogram, HIST_BUCKETS};
+
+fn hist_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+/// Power-of-two values spanning all magnitudes, not just small ints.
+fn value() -> impl Strategy<Value = u64> {
+    (0u32..64).prop_map(|shift| 1u64 << shift)
+}
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..1024,
+            value().prop_map(|p| p.saturating_sub(1)),
+            value(),
+            Just(u64::MAX),
+        ],
+        0..40,
+    )
+}
+
+/// The bucket `[lo, hi]` that `v` falls in.
+fn bounds_of(v: u64) -> (u64, u64) {
+    (0..HIST_BUCKETS)
+        .map(bucket_bounds)
+        .find(|&(lo, hi)| lo <= v && v <= hi)
+        .expect("buckets cover u64")
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in values(), b in values()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        prop_assert_eq!(ha.merge(&hb), hb.merge(&ha));
+    }
+
+    #[test]
+    fn merge_is_associative(a in values(), b in values(), c in values()) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        prop_assert_eq!(ha.merge(&hb).merge(&hc), ha.merge(&hb.merge(&hc)));
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity(a in values()) {
+        let ha = hist_of(&a);
+        prop_assert_eq!(ha.merge(&HistSnapshot::default()), ha);
+    }
+
+    #[test]
+    fn quantile_stays_within_the_rank_bucket(vals in values(), qpm in 0u64..=1000) {
+        prop_assume!(!vals.is_empty());
+        let s = hist_of(&vals);
+        let q = qpm as f64 / 1000.0;
+        let got = s.quantile(q);
+
+        // The exact order statistic at this rank.
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+
+        // The readout may not leave the bucket the true value lives in.
+        let (lo, hi) = bounds_of(exact);
+        prop_assert!(
+            got >= lo && got <= hi,
+            "quantile({q}) = {got} outside bucket [{lo}, {hi}] of exact {exact}"
+        );
+        prop_assert!(got <= s.max, "quantile({q}) = {got} above max {}", s.max);
+    }
+
+    #[test]
+    fn counts_saturate_at_capacity(n in (u64::MAX - 64)..=u64::MAX, b in 0usize..HIST_BUCKETS) {
+        let mut big = HistSnapshot {
+            count: n,
+            sum: n,
+            max: bucket_bounds(b).1,
+            buckets: [0; HIST_BUCKETS],
+        };
+        big.buckets[b] = n;
+        let m = big.merge(&big);
+        prop_assert!(m.count >= big.count, "merge lost counts: {} < {}", m.count, big.count);
+        prop_assert_eq!(m.count, n.saturating_add(n));
+        prop_assert_eq!(m.buckets[b], n.saturating_add(n));
+        prop_assert_eq!(m.max, big.max);
+        // Quantiles still read out inside the populated bucket.
+        let (lo, hi) = bucket_bounds(b);
+        let q = m.quantile(0.99);
+        prop_assert!(q >= lo && q <= hi);
+    }
+}

@@ -41,5 +41,6 @@ pub mod crates {
     pub use dpm_meterd as meterd;
     pub use dpm_simnet as simnet;
     pub use dpm_simos as simos;
+    pub use dpm_telemetry as telemetry;
     pub use dpm_workloads as workloads;
 }
