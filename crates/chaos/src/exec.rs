@@ -1,17 +1,23 @@
 //! Process-level fault executors: crashing and restarting a machine's
-//! meterdaemon.
+//! meterdaemon, and killing a controller for failover scenarios.
 //!
 //! Network and disk faults are injected passively through hook points;
-//! killing a daemon is an *action* a chaos scenario performs at a
-//! chosen moment. These helpers find the daemon by its well-known
-//! program name (no pid-window guessing), kill it with an uncatchable
-//! signal, and later respawn it as root — modelling a machine whose
-//! monitor daemon dies and is restarted by init.
+//! killing a daemon or controller is an *action* a chaos scenario
+//! performs at a chosen moment. These helpers find the victim by its
+//! well-known program name (no pid-window guessing), kill it with an
+//! uncatchable signal, and later respawn it as root — modelling a
+//! machine whose monitor daemon dies and is restarted by init, or a
+//! controller host that drops dead mid-session and whose jobs a
+//! standby must adopt.
 
 use std::sync::Arc;
 
 use dpm_meterd::{meterd_main, METERD_PROGRAM};
 use dpm_simos::{Cluster, Machine, Pid, RunState, Sig, Uid};
+
+/// The program name controllers spawn under (their notification
+/// listener forks as `control+`).
+pub const CONTROLLER_PROGRAM: &str = "control";
 
 /// Live (non-zombie) meterdaemon pids on `machine`.
 fn live_daemons(machine: &Machine) -> Vec<Pid> {
@@ -70,6 +76,33 @@ pub fn restart_daemon(cluster: &Arc<Cluster>, machine: &str) -> Pid {
     m.spawn_fn(METERD_PROGRAM, Uid::ROOT, None, true, |p| {
         meterd_main(p, Vec::new())
     })
+}
+
+/// Kills every live controller process on the named machine with
+/// `SIGKILL` — both the parked `control` body and its forked
+/// `control+` notification listener — and returns the pids killed.
+/// The controller's control-log lease stops being renewed the moment
+/// it dies; once the lease lapses (simulated time keeps advancing), a
+/// standby's `Controller::adopt_from` takes the jobs over.
+///
+/// # Panics
+///
+/// If the cluster has no machine with that name — a harness bug.
+pub fn crash_controller(cluster: &Arc<Cluster>, machine: &str) -> Vec<Pid> {
+    let m = cluster
+        .machine(machine)
+        .unwrap_or_else(|| panic!("no machine named '{machine}'"));
+    let mut pids: Vec<Pid> = [CONTROLLER_PROGRAM, "control+"]
+        .iter()
+        .flat_map(|name| m.procs_named(name))
+        .filter(|&pid| m.proc_state(pid).is_some_and(|state| !state.is_dead()))
+        .collect();
+    pids.sort();
+    pids.dedup();
+    for &pid in &pids {
+        let _ = m.signal(None, pid, Sig::Kill);
+    }
+    pids
 }
 
 /// Whether the named machine currently has a live meterdaemon.

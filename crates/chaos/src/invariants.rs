@@ -24,6 +24,7 @@
 
 use std::collections::HashMap;
 
+use dpm_controlplane::{ControlEvent, ControlLog, JobTable};
 use dpm_logstore::StoreReader;
 use dpm_meter::MeterMsg;
 
@@ -136,6 +137,93 @@ pub fn check_exactly_once(reader: &StoreReader) -> Result<SeqCensus, String> {
     check_gapless(reader)
 }
 
+/// What [`check_control_plane`] verified, for assertions in tests.
+#[derive(Debug, Default)]
+pub struct ControlCensus {
+    /// Control events replayed from the log.
+    pub events: u64,
+    /// Jobs ever created (including since-removed ones).
+    pub jobs_created: usize,
+    /// Jobs still live at the end of the log.
+    pub jobs_live: usize,
+    /// Filters created.
+    pub filters: usize,
+}
+
+/// Replays a control log and checks the failover safety invariants —
+/// what controller crashes and lease takeovers are *not* allowed to
+/// corrupt:
+///
+/// * **One creation per job** — a job name is created at most once
+///   (idempotent RPC plus the log means a retried `newjob` must not
+///   fork the job's history).
+/// * **Exactly one terminal state** — every job that was accepted
+///   either was removed or has every process in a terminal state
+///   (killed, or merely acquired) by the end of the log; no job is
+///   left half-running with nobody responsible for it.
+/// * **No orphaned filter reference** — every job's filter was
+///   recorded in the log, so a standby can always rebuild the
+///   rendering path for `getlog`/`watch` after takeover.
+/// * **Linear lease chain** — job ownership never overlapped: each
+///   takeover's lease begins at or after the previous owner's expiry
+///   ([`JobTable::check_lease_chain`]).
+///
+/// # Errors
+///
+/// A description of the first violated invariant; the telemetry
+/// flight recorder is dumped alongside.
+pub fn check_control_plane(reader: &StoreReader) -> Result<ControlCensus, String> {
+    let events = ControlLog::replay(reader);
+    let mut created: HashMap<String, u64> = HashMap::new();
+    for (_, ev) in &events {
+        if let ControlEvent::JobCreated { job, .. } = ev {
+            *created.entry(job.clone()).or_default() += 1;
+        }
+    }
+    let fail = |msg: String| {
+        dpm_telemetry::dump_failure(&format!("invariant control-plane failed: {msg}"));
+        Err(msg)
+    };
+    for (job, n) in &created {
+        if *n > 1 {
+            return fail(format!("job '{job}' created {n} times"));
+        }
+    }
+    let mut table = JobTable::new();
+    table.apply_all(events.iter().map(|(_, ev)| ev));
+    for jr in table.jobs.values() {
+        if table.filter(&jr.filter).is_none() {
+            return fail(format!(
+                "job '{}' references filter '{}' which the log never created",
+                jr.name, jr.filter
+            ));
+        }
+        if jr.removed {
+            continue;
+        }
+        if let Some(p) = jr
+            .procs
+            .iter()
+            .find(|p| p.state != "killed" && p.state != "acquired")
+        {
+            return fail(format!(
+                "job '{}' ended the log with process '{}' (pid {} on {}) still {} — \
+                 no terminal state reached",
+                jr.name, p.name, p.pid, p.machine, p.state
+            ));
+        }
+    }
+    if let Err(msg) = table.check_lease_chain() {
+        return fail(msg);
+    }
+    Ok(ControlCensus {
+        events: events.len() as u64,
+        jobs_created: created.len(),
+        jobs_live: table.live_jobs().len(),
+        filters: table.filters.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +290,147 @@ mod tests {
         assert!(err.contains("expected seq 2, found 3"), "{err}");
         let c = check_no_duplicates(&reader).expect("no dups");
         assert_eq!(c.skipped, 1, "seq 0 is unsequenced and skipped");
+    }
+
+    fn control_store(events: &[ControlEvent]) -> StoreReader {
+        let backend = Arc::new(MemBackend::new());
+        let mut log = ControlLog::open(backend.clone(), "ctl");
+        for ev in events {
+            log.append(ev);
+        }
+        StoreReader::load(backend.as_ref(), "ctl")
+    }
+
+    fn filter_created(name: &str) -> ControlEvent {
+        ControlEvent::FilterCreated {
+            name: name.to_owned(),
+            machine: "red".to_owned(),
+            pid: 7,
+            port: 4000,
+            logfile: format!("/usr/tmp/log.{name}"),
+            mode: "store".to_owned(),
+            shards: 1,
+            role: "leaf".to_owned(),
+            upstream: String::new(),
+            desc_text: String::new(),
+        }
+    }
+
+    #[test]
+    fn clean_control_log_passes() {
+        let reader = control_store(&[
+            filter_created("f1"),
+            ControlEvent::JobCreated {
+                job: "j".to_owned(),
+                filter: "f1".to_owned(),
+            },
+            ControlEvent::LeaseAcquired {
+                job: "j".to_owned(),
+                owner: "red:3000".to_owned(),
+                at_us: 0,
+                expires_us: 1_000,
+            },
+            ControlEvent::ProcAdded {
+                job: "j".to_owned(),
+                name: "worker".to_owned(),
+                machine: "red".to_owned(),
+                pid: 9,
+                state: "new".to_owned(),
+            },
+            // A clean takeover: the next owner begins after expiry.
+            ControlEvent::LeaseAcquired {
+                job: "j".to_owned(),
+                owner: "blue:3000".to_owned(),
+                at_us: 1_500,
+                expires_us: 2_500,
+            },
+            ControlEvent::ProcStateChanged {
+                job: "j".to_owned(),
+                machine: "red".to_owned(),
+                pid: 9,
+                state: "killed".to_owned(),
+            },
+        ]);
+        let c = check_control_plane(&reader).expect("clean control log");
+        assert_eq!(c.events, 6);
+        assert_eq!(c.jobs_created, 1);
+        assert_eq!(c.jobs_live, 1);
+        assert_eq!(c.filters, 1);
+    }
+
+    #[test]
+    fn nonterminal_job_and_orphan_filter_are_reported() {
+        let stuck = control_store(&[
+            filter_created("f1"),
+            ControlEvent::JobCreated {
+                job: "j".to_owned(),
+                filter: "f1".to_owned(),
+            },
+            ControlEvent::ProcAdded {
+                job: "j".to_owned(),
+                name: "worker".to_owned(),
+                machine: "red".to_owned(),
+                pid: 9,
+                state: "running".to_owned(),
+            },
+        ]);
+        let err = check_control_plane(&stuck).unwrap_err();
+        assert!(err.contains("no terminal state"), "{err}");
+
+        let orphan = control_store(&[ControlEvent::JobCreated {
+            job: "j".to_owned(),
+            filter: "ghost".to_owned(),
+        }]);
+        let err = check_control_plane(&orphan).unwrap_err();
+        assert!(err.contains("never created"), "{err}");
+    }
+
+    #[test]
+    fn overlapping_lease_owners_are_reported() {
+        let reader = control_store(&[
+            filter_created("f1"),
+            ControlEvent::JobCreated {
+                job: "j".to_owned(),
+                filter: "f1".to_owned(),
+            },
+            ControlEvent::JobRemoved {
+                job: "j".to_owned(),
+            },
+            ControlEvent::LeaseAcquired {
+                job: "j".to_owned(),
+                owner: "red:3000".to_owned(),
+                at_us: 0,
+                expires_us: 1_000,
+            },
+        ]);
+        // Re-apply the lease under another owner before expiry by
+        // appending a conflicting acquisition.
+        let backend = Arc::new(MemBackend::new());
+        let mut log = ControlLog::open(backend.clone(), "ctl");
+        log.append(&filter_created("f1"));
+        log.append(&ControlEvent::JobCreated {
+            job: "j".to_owned(),
+            filter: "f1".to_owned(),
+        });
+        log.append(&ControlEvent::LeaseAcquired {
+            job: "j".to_owned(),
+            owner: "red:3000".to_owned(),
+            at_us: 0,
+            expires_us: 1_000,
+        });
+        log.append(&ControlEvent::LeaseAcquired {
+            job: "j".to_owned(),
+            owner: "blue:3000".to_owned(),
+            at_us: 500, // before red's lease expired: split brain
+            expires_us: 1_500,
+        });
+        log.append(&ControlEvent::JobRemoved {
+            job: "j".to_owned(),
+        });
+        let bad = StoreReader::load(backend.as_ref(), "ctl");
+        let err = check_control_plane(&bad).unwrap_err();
+        assert!(err.contains("before"), "{err}");
+        // The removed-job store above (no overlap) stays clean.
+        check_control_plane(&reader).expect("removed job is terminal");
     }
 }

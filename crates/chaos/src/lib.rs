@@ -25,10 +25,15 @@
 //! * **Processes** — [`crash_daemon`]/[`restart_daemon`] kill and
 //!   respawn a machine's meterdaemon; the hardened RPC layer
 //!   (timeouts, bounded retry, idempotent request ids) and the
-//!   controller's resync must ride it out.
+//!   controller's resync must ride it out. [`crash_controller`] kills
+//!   a controller mid-session; the control log and lease takeover
+//!   must let a standby adopt its jobs.
 //! * **Verification** — the [`invariants`] module reads a store back
 //!   and checks that faults never became corruption: no accepted
-//!   record lost, none duplicated.
+//!   record lost, none duplicated; and, for the control plane, that
+//!   every accepted job reached exactly one terminal state, no filter
+//!   was orphaned, and job ownership never overlapped
+//!   ([`invariants::check_control_plane`]).
 //!
 //! ```
 //! use dpm_chaos::{ChaosSpec, FaultPlan};
@@ -52,6 +57,9 @@ mod plan;
 mod spec;
 
 pub use disk::{DiskFaultStats, FaultyBackend};
-pub use exec::{await_daemon_death, crash_daemon, daemon_alive, restart_daemon};
+pub use exec::{
+    await_daemon_death, crash_controller, crash_daemon, daemon_alive, restart_daemon,
+    CONTROLLER_PROGRAM,
+};
 pub use plan::{ChaosInjector, FaultPlan, FaultTally};
 pub use spec::{ChaosSpec, DiskSpec, Partition, Prob};

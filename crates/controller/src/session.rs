@@ -15,9 +15,11 @@
 
 use crate::job::{Job, ManagedProc, ProcAction, ProcState};
 use dpm_analysis::{ByzReport, MutexReport, Trace};
+use dpm_controlplane::{ControlEvent, ControlLog, JobTable, DEFAULT_LEASE_MS};
 use dpm_filter::{parse_host_port, Descriptions, FilterRole, LogRecord, Rules};
 use dpm_live::{LiveWatch, WindowSnapshot};
-use dpm_logstore::{seals_name, seg_ids_of, OwnedFrame, StoreReader, StoreTail};
+use dpm_logstore::{seals_name, seg_ids_of, Backend, OwnedFrame, StoreReader, StoreTail};
+use dpm_meter::MeterFlags;
 use dpm_meterd::{
     read_frame, rpc_call_retry, FilterSpec, LogSinkMode, Reply, Request, RpcStatus, RPC_TIMEOUT_MS,
 };
@@ -98,6 +100,13 @@ pub struct Controller {
     /// Signals the parked controller-process body to exit.
     quit_tx: Option<mpsc::Sender<()>>,
     done: bool,
+    /// The durable control log, when control-plane replication is
+    /// enabled: every state mutation this controller performs is
+    /// appended, so a standby can reconstruct and adopt the session.
+    control_log: Option<ControlLog>,
+    /// Expiry (µs, simulated time) of the lease this controller holds
+    /// on each job it owns through the control log.
+    leases: HashMap<String, u64>,
 }
 
 impl std::fmt::Debug for Controller {
@@ -180,6 +189,8 @@ impl Controller {
             die_armed: false,
             quit_tx: Some(quit_tx),
             done: false,
+            control_log: None,
+            leases: HashMap::new(),
         })
     }
 
@@ -240,6 +251,7 @@ impl Controller {
             q.drain(..).collect()
         };
         let mut lines = Vec::new();
+        let mut events = Vec::new();
         for n in pending {
             match n {
                 Request::StateChange { pid, state } => {
@@ -259,6 +271,12 @@ impl Controller {
                                     p.state = ProcState::Killed;
                                 }
                                 hit = Some((jname.clone(), p.name.clone()));
+                                events.push(ControlEvent::ProcStateChanged {
+                                    job: jname.clone(),
+                                    machine: p.machine.clone(),
+                                    pid: pid.0,
+                                    state: p.state.to_string(),
+                                });
                                 break;
                             }
                         }
@@ -287,6 +305,9 @@ impl Controller {
                 _ => {}
             }
         }
+        for ev in events {
+            self.record(ev);
+        }
         for l in &lines {
             self.emit(l);
         }
@@ -308,6 +329,7 @@ impl Controller {
         let mut ticks = 0u32;
         loop {
             self.pump();
+            self.renew_lease_if_due(job);
             match self.jobs.get(job) {
                 None => return false,
                 Some(j) => {
@@ -362,6 +384,7 @@ impl Controller {
                 _ => None,
             };
             let Some(reason) = reason else { continue };
+            let mut changed = None;
             if let Some(p) = self
                 .jobs
                 .get_mut(job)
@@ -371,6 +394,15 @@ impl Controller {
                     .state
                     .next(ProcAction::Complete)
                     .unwrap_or(ProcState::Killed);
+                changed = Some(p.state.to_string());
+            }
+            if let Some(state) = changed {
+                self.record(ControlEvent::ProcStateChanged {
+                    job: job.to_owned(),
+                    machine: machine.clone(),
+                    pid: pid.0,
+                    state,
+                });
             }
             self.emit(&format!(
                 "DONE: process {name} in job '{job}' terminated: reason: {reason} (resync)"
@@ -649,7 +681,8 @@ impl Controller {
             .read(&descriptions)
             .unwrap_or_else(|| Descriptions::standard_text().as_bytes().to_vec());
         let tmpl_data = local_fs.read(&templates).unwrap_or_default();
-        let Ok(parsed_desc) = Descriptions::parse(&String::from_utf8_lossy(&desc_data)) else {
+        let desc_text = String::from_utf8_lossy(&desc_data).into_owned();
+        let Ok(parsed_desc) = Descriptions::parse(&desc_text) else {
             self.emit(&format!("descriptions file '{descriptions}' is malformed"));
             return;
         };
@@ -702,6 +735,21 @@ impl Controller {
                 pid,
                 status: RpcStatus::Ok,
             }) => {
+                self.record(ControlEvent::FilterCreated {
+                    name: name.clone(),
+                    machine: machine.clone(),
+                    pid: pid.0,
+                    port,
+                    logfile: logfile.clone(),
+                    mode: match log_mode {
+                        LogSinkMode::Text => "text".to_owned(),
+                        LogSinkMode::Store => "store".to_owned(),
+                    },
+                    shards,
+                    role: role.to_string(),
+                    upstream: upstream.clone(),
+                    desc_text,
+                });
                 self.filters.push(FilterInfo {
                     name: name.clone(),
                     machine,
@@ -749,8 +797,13 @@ impl Controller {
             },
         };
         self.jobs
-            .insert((*name).to_owned(), Job::new(*name, filter));
+            .insert((*name).to_owned(), Job::new(*name, filter.clone()));
         self.job_order.push((*name).to_owned());
+        self.record(ControlEvent::JobCreated {
+            job: (*name).to_owned(),
+            filter,
+        });
+        self.acquire_lease(name);
     }
 
     /// `addprocess <jobname> <machine> <processfile> [parms...]`
@@ -855,9 +908,16 @@ impl Controller {
                 let job = self.jobs.get_mut(&job_name).expect("job exists");
                 job.procs.push(ManagedProc {
                     name: display.clone(),
-                    machine,
+                    machine: machine.clone(),
                     pid,
                     state: ProcState::New,
+                });
+                self.record(ControlEvent::ProcAdded {
+                    job: job_name.clone(),
+                    name: display.clone(),
+                    machine,
+                    pid: pid.0,
+                    state: ProcState::New.to_string(),
                 });
                 self.emit(&format!(
                     "process '{display}' ... created: identifier= {pid}"
@@ -914,9 +974,16 @@ impl Controller {
                 let job = self.jobs.get_mut(&job_name).expect("job exists");
                 job.procs.push(ManagedProc {
                     name: format!("pid{pid}"),
-                    machine,
+                    machine: machine.clone(),
                     pid,
                     state: ProcState::Acquired,
+                });
+                self.record(ControlEvent::ProcAdded {
+                    job: job_name.clone(),
+                    name: format!("pid{pid}"),
+                    machine,
+                    pid: pid.0,
+                    state: ProcState::Acquired.to_string(),
                 });
                 self.emit(&format!("process {pid} ... acquired"));
             }
@@ -944,6 +1011,10 @@ impl Controller {
             }
         };
         self.emit(&format!("new job flags = {flags}"));
+        self.record(ControlEvent::FlagsSet {
+            job: job_name.clone(),
+            flags: flags.bits(),
+        });
         let targets: Vec<(String, String, Pid, ProcState)> = self
             .jobs
             .get(&job_name)
@@ -1008,6 +1079,12 @@ impl Controller {
                         {
                             p.state = next;
                         }
+                        self.record(ControlEvent::ProcStateChanged {
+                            job: job_name.clone(),
+                            machine: machine.clone(),
+                            pid: pid.0,
+                            state: next.to_string(),
+                        });
                         self.emit(&format!(
                             "'{name}' {}.",
                             if start { "started" } else { "stopped" }
@@ -1067,6 +1144,10 @@ impl Controller {
         }
         self.jobs.remove(&job_name);
         self.job_order.retain(|j| *j != job_name);
+        self.record(ControlEvent::JobRemoved {
+            job: job_name.clone(),
+        });
+        self.leases.remove(&job_name);
     }
 
     /// `removeprocess <jobname> <process>`.
@@ -1620,6 +1701,422 @@ impl Controller {
         self.done = true;
     }
 
+    // ------------------------------------------------------------------
+    // Control-plane replication: durable state, leases, takeover
+    // ------------------------------------------------------------------
+
+    /// The identity this controller writes into lease records:
+    /// `machine:control_port`. Two controllers on the same machine use
+    /// distinct control ports, so the id is unique per controller.
+    pub fn owner_id(&self) -> String {
+        format!("{}:{}", self.machine, self.control_port)
+    }
+
+    /// Current simulated time in microseconds — the clock leases are
+    /// granted and expire against.
+    fn now_us(&self) -> u64 {
+        self.cluster.global_time().now_us()
+    }
+
+    /// One lease period in simulated microseconds.
+    fn lease_period_us(&self) -> u64 {
+        DEFAULT_LEASE_MS * 1_000
+    }
+
+    /// Appends `ev` to the control log, when replication is enabled.
+    fn record(&mut self, ev: ControlEvent) {
+        if let Some(log) = self.control_log.as_mut() {
+            log.append(&ev);
+        }
+    }
+
+    /// Turns on control-plane replication: every subsequent mutation
+    /// of controller state (jobs, filters, flags, process states,
+    /// leases) is appended to the control log at `dir` on `backend`,
+    /// from which any standby can reconstruct and adopt the session
+    /// via [`Controller::adopt_from`]. Jobs created before this call
+    /// are not retroactively logged — enable replication first.
+    pub fn enable_control_log(&mut self, backend: Arc<dyn Backend>, dir: &str) {
+        self.control_log = Some(ControlLog::open(backend, dir));
+    }
+
+    /// Whether control-plane replication is enabled.
+    pub fn control_log_enabled(&self) -> bool {
+        self.control_log.is_some()
+    }
+
+    /// Grants this controller a fresh lease on `job` through the
+    /// control log.
+    fn acquire_lease(&mut self, job: &str) {
+        if self.control_log.is_none() {
+            return;
+        }
+        let now = self.now_us();
+        let expires = now + self.lease_period_us();
+        self.record(ControlEvent::LeaseAcquired {
+            job: job.to_owned(),
+            owner: self.owner_id(),
+            at_us: now,
+            expires_us: expires,
+        });
+        self.leases.insert(job.to_owned(), expires);
+    }
+
+    /// Renews this controller's lease on `job` once less than half a
+    /// lease period remains — frequent enough that a live owner never
+    /// lapses, rare enough that the log is not dominated by renewals.
+    fn renew_lease_if_due(&mut self, job: &str) {
+        if self.control_log.is_none() {
+            return;
+        }
+        let Some(&expires) = self.leases.get(job) else {
+            return;
+        };
+        let now = self.now_us();
+        if now + self.lease_period_us() / 2 < expires {
+            return;
+        }
+        let new_expires = now + self.lease_period_us();
+        self.record(ControlEvent::LeaseRenewed {
+            job: job.to_owned(),
+            owner: self.owner_id(),
+            at_us: now,
+            expires_us: new_expires,
+        });
+        self.leases.insert(job.to_owned(), new_expires);
+        dpm_telemetry::registry()
+            .counter("controlplane", "lease_renewals", "")
+            .inc();
+    }
+
+    /// Adopts every live job found in the control log at `dir` on
+    /// `backend`: the lease-based takeover path a standby controller
+    /// runs when the owning controller dies.
+    ///
+    /// For each job whose lease is held by another controller, this
+    /// waits (in simulated time) until that lease lapses — a live
+    /// owner keeps renewing, so expiry only passes once the owner is
+    /// really gone — then appends its own `LeaseAcquired`, rebuilds
+    /// the job and filter tables from the log, and re-binds the
+    /// surviving daemons' metered processes to this controller with
+    /// one batched `AcquireMany` round-trip per machine. Processes the
+    /// daemons no longer know are marked killed. Returns the adopted
+    /// job names.
+    pub fn adopt_from(&mut self, backend: Arc<dyn Backend>, dir: &str) -> Vec<String> {
+        self.control_log = Some(ControlLog::open(backend, dir));
+        let table = self.replayed_table();
+
+        // Filters first: jobs reference them, and getlog/watch render
+        // through their descriptions.
+        for fr in &table.filters {
+            if self.filters.iter().any(|f| f.name == fr.name) {
+                continue;
+            }
+            let Ok(desc) = Descriptions::parse(&fr.desc_text) else {
+                continue;
+            };
+            let Some(role) = FilterRole::from_arg(&fr.role) else {
+                continue;
+            };
+            let log_mode = if fr.mode == "store" {
+                LogSinkMode::Store
+            } else {
+                LogSinkMode::Text
+            };
+            self.filters.push(FilterInfo {
+                name: fr.name.clone(),
+                machine: fr.machine.clone(),
+                pid: Pid(fr.pid),
+                port: fr.port,
+                logfile: fr.logfile.clone(),
+                log_mode,
+                shards: fr.shards,
+                role,
+                upstream: fr.upstream.clone(),
+                desc,
+            });
+            self.next_filter_port = self.next_filter_port.max(fr.port + 1);
+        }
+
+        let mut adopted = Vec::new();
+        let live: Vec<String> = table
+            .live_jobs()
+            .into_iter()
+            .map(|j| j.name.clone())
+            .collect();
+        for job_name in live {
+            let prev = self.wait_lease_lapse(&job_name);
+            // Re-read: process exits recorded by the old owner just
+            // before it died must not be lost.
+            let Some(jr) = self.replayed_table().jobs.get(&job_name).cloned() else {
+                continue;
+            };
+            if jr.removed {
+                continue;
+            }
+
+            let now = self.now_us();
+            if let Some(prev_expiry) = prev {
+                dpm_telemetry::registry()
+                    .histogram("controlplane", "takeover_latency_us", &job_name)
+                    .record(now.saturating_sub(prev_expiry));
+            }
+            let expires = now + self.lease_period_us();
+            self.record(ControlEvent::LeaseAcquired {
+                job: job_name.clone(),
+                owner: self.owner_id(),
+                at_us: now,
+                expires_us: expires,
+            });
+            self.leases.insert(job_name.clone(), expires);
+
+            // Rebuild the in-memory job from the replayed record.
+            let mut job = Job::new(&jr.name, jr.filter.clone());
+            job.flags = MeterFlags::from_bits(jr.flags);
+            let mut by_machine: HashMap<String, Vec<Pid>> = HashMap::new();
+            for pr in &jr.procs {
+                let state = parse_proc_state(&pr.state);
+                job.procs.push(ManagedProc {
+                    name: pr.name.clone(),
+                    machine: pr.machine.clone(),
+                    pid: Pid(pr.pid),
+                    state,
+                });
+                if state != ProcState::Killed {
+                    by_machine
+                        .entry(pr.machine.clone())
+                        .or_default()
+                        .push(Pid(pr.pid));
+                }
+            }
+            self.jobs.insert(job_name.clone(), job);
+            if !self.job_order.contains(&job_name) {
+                self.job_order.push(job_name.clone());
+            }
+
+            // Re-bind surviving daemons' notifications to this
+            // controller: one batched round-trip per machine.
+            let mut machines: Vec<(String, Vec<Pid>)> = by_machine.into_iter().collect();
+            machines.sort();
+            for (machine, pids) in machines {
+                self.rebind_machine(&job_name, &machine, &pids);
+            }
+            self.emit(&format!(
+                "job '{job_name}' adopted (owner now {})",
+                self.owner_id()
+            ));
+            adopted.push(job_name);
+        }
+        adopted
+    }
+
+    /// Replays the control log into a fresh [`JobTable`].
+    fn replayed_table(&self) -> JobTable {
+        match self.control_log.as_ref() {
+            Some(log) => JobTable::from_store(&log.reader()),
+            None => JobTable::default(),
+        }
+    }
+
+    /// Blocks (in simulated time) until `job`'s current lease has
+    /// lapsed or is ours, re-reading the log so renewals appended
+    /// while waiting are honored. Returns the expiry of the lease
+    /// waited out, if there was a foreign one.
+    fn wait_lease_lapse(&mut self, job: &str) -> Option<u64> {
+        let me = self.owner_id();
+        let mut waited: Option<u64> = None;
+        loop {
+            let lease = match self.replayed_table().jobs.get(job) {
+                Some(jr) => jr.lease.clone(),
+                None => return waited,
+            };
+            match lease {
+                None => return waited,
+                Some(l) if l.owner == me => return waited,
+                Some(l) if l.expired(self.now_us()) => return Some(l.expires_us),
+                Some(l) => {
+                    waited = Some(l.expires_us);
+                    // Sleeping advances simulated time, so a dead
+                    // owner's lease lapses here; a live owner's
+                    // renewals keep pushing the expiry out.
+                    let _ = self.proc.sleep_ms(50);
+                }
+            }
+        }
+    }
+
+    /// Re-points the daemon-side control bindings of `pids` on
+    /// `machine` at this controller (one `AcquireMany{rebind_only}`
+    /// round-trip), marking processes the daemon no longer knows as
+    /// killed. Falls back to per-pid `QueryProc` resync against
+    /// daemons that predate the batched message.
+    fn rebind_machine(&mut self, job_name: &str, machine: &str, pids: &[Pid]) {
+        let reply = self.rpc(
+            machine,
+            &Request::AcquireMany {
+                pids: pids.to_vec(),
+                filter_port: 0,
+                filter_host: String::new(),
+                meter_flags: MeterFlags::NONE,
+                control_port: self.control_port,
+                control_host: self.machine.clone(),
+                rebind_only: true,
+            },
+        );
+        let gone: Vec<Pid> = match reply {
+            Ok(Reply::AcquireMany { results, .. }) => results
+                .into_iter()
+                .filter(|(_, st)| *st != RpcStatus::Ok)
+                .map(|(pid, _)| pid)
+                .collect(),
+            // An old daemon cannot decode AcquireMany and answers a
+            // plain failure Ack: fall back to per-pid resync. (Not
+            // re-acquisition — the meter stream is still connected.)
+            Ok(Reply::Ack {
+                status: RpcStatus::Fail,
+            }) => pids
+                .iter()
+                .filter(|pid| {
+                    matches!(
+                        self.rpc(machine, &Request::QueryProc { pid: **pid }),
+                        Ok(Reply::ProcStatus {
+                            status: RpcStatus::Srch,
+                            ..
+                        })
+                    )
+                })
+                .copied()
+                .collect(),
+            _ => Vec::new(),
+        };
+        for pid in gone {
+            let mut hit = None;
+            if let Some(p) = self
+                .jobs
+                .get_mut(job_name)
+                .and_then(|j| j.procs.iter_mut().find(|p| p.pid == pid))
+            {
+                if p.state != ProcState::Killed {
+                    p.state = p
+                        .state
+                        .next(ProcAction::Complete)
+                        .unwrap_or(ProcState::Killed);
+                    hit = Some((p.name.clone(), p.state.to_string()));
+                }
+            }
+            if let Some((name, state)) = hit {
+                self.record(ControlEvent::ProcStateChanged {
+                    job: job_name.to_owned(),
+                    machine: machine.to_owned(),
+                    pid: pid.0,
+                    state,
+                });
+                self.emit(&format!(
+                    "DONE: process {name} in job '{job_name}' terminated: reason: normal (resync)"
+                ));
+            }
+        }
+    }
+
+    /// Batched `acquire`: meters already-running `pids` on `machine`
+    /// into `job_name` with a single `AcquireMany` round-trip instead
+    /// of one `Acquire` RPC per process. Falls back to per-pid
+    /// `Acquire` when the daemon predates the batched message.
+    /// Returns how many processes were acquired.
+    pub fn acquire_many(&mut self, job_name: &str, machine: &str, pids: &[Pid]) -> usize {
+        let Some(job) = self.jobs.get(job_name) else {
+            self.emit(&format!("no job named '{job_name}'"));
+            return 0;
+        };
+        let (filter_host, filter_port, flags) = {
+            let f = self
+                .filters
+                .iter()
+                .find(|f| f.name == job.filter)
+                .expect("job's filter exists");
+            (f.machine.clone(), f.port, job.flags)
+        };
+        let reply = self.rpc(
+            machine,
+            &Request::AcquireMany {
+                pids: pids.to_vec(),
+                filter_port,
+                filter_host: filter_host.clone(),
+                meter_flags: flags,
+                control_port: self.control_port,
+                control_host: self.machine.clone(),
+                rebind_only: false,
+            },
+        );
+        let results: Vec<(Pid, RpcStatus)> = match reply {
+            Ok(Reply::AcquireMany {
+                status: RpcStatus::Ok,
+                results,
+            }) => results,
+            // An old daemon cannot decode AcquireMany and answers a
+            // plain failure Ack: one classic Acquire per pid instead.
+            Ok(Reply::Ack {
+                status: RpcStatus::Fail,
+            }) => pids
+                .iter()
+                .map(|&pid| {
+                    let r = self.rpc(
+                        machine,
+                        &Request::Acquire {
+                            pid,
+                            filter_port,
+                            filter_host: filter_host.clone(),
+                            meter_flags: flags,
+                            control_port: self.control_port,
+                            control_host: self.machine.clone(),
+                        },
+                    );
+                    let st = match r {
+                        Ok(Reply::Create { status, .. }) => status,
+                        Ok(r) => r.status(),
+                        Err(_) => RpcStatus::Fail,
+                    };
+                    (pid, st)
+                })
+                .collect(),
+            Ok(r) => {
+                self.emit(&format!("acquire failed: {}", r.status()));
+                return 0;
+            }
+            Err(e) => {
+                self.emit(&format!("acquire failed: {e}"));
+                return 0;
+            }
+        };
+        let mut acquired = 0usize;
+        let mut events = Vec::new();
+        for (pid, st) in results {
+            if st != RpcStatus::Ok {
+                continue;
+            }
+            let job = self.jobs.get_mut(job_name).expect("job exists");
+            job.procs.push(ManagedProc {
+                name: format!("pid{pid}"),
+                machine: machine.to_owned(),
+                pid,
+                state: ProcState::Acquired,
+            });
+            events.push(ControlEvent::ProcAdded {
+                job: job_name.to_owned(),
+                name: format!("pid{pid}"),
+                machine: machine.to_owned(),
+                pid: pid.0,
+                state: ProcState::Acquired.to_string(),
+            });
+            acquired += 1;
+        }
+        for ev in events {
+            self.record(ev);
+        }
+        self.emit(&format!("{acquired} of {} processes acquired", pids.len()));
+        acquired
+    }
+
     fn rpc(&self, machine: &str, req: &Request) -> Result<Reply, SysError> {
         // The hardened call: per-attempt timeout, bounded retries, and
         // an idempotency id the daemon dedups on — a retried create is
@@ -1633,5 +2130,17 @@ impl Controller {
             RPC_TIMEOUT_MS,
             Backoff::new(8, 5, 100),
         )
+    }
+}
+
+/// Maps a control-log state keyword back to a [`ProcState`]. Unknown
+/// keywords (from a future controller) conservatively parse as `New`.
+fn parse_proc_state(s: &str) -> ProcState {
+    match s {
+        "acquired" => ProcState::Acquired,
+        "running" => ProcState::Running,
+        "stopped" => ProcState::Stopped,
+        "killed" => ProcState::Killed,
+        _ => ProcState::New,
     }
 }

@@ -1,0 +1,533 @@
+//! The control-event record and its wire codec.
+//!
+//! One [`ControlEvent`] is one state mutation of a measurement
+//! session. Events are encoded to a compact little-endian binary form
+//! and appended to a [`dpm_logstore`] store as ordinary frames; the
+//! magic tag and version word up front let a reader skip any frame
+//! that is not a control event (or is from a future format) instead of
+//! misparsing it.
+
+use std::fmt;
+
+/// First word of every encoded control event ("CTL1" little-endian) —
+/// distinguishes control frames from meter records sharing a reader.
+pub const CONTROL_MAGIC: u32 = 0x314C_5443;
+
+/// Encoding version this build writes and understands.
+pub const CONTROL_EVENT_VERSION: u32 = 1;
+
+/// Longest string any event field may carry (the descriptions text is
+/// the big one); a decoder finding more is reading garbage.
+const MAX_STR: usize = 64 * 1024;
+
+/// One mutation of controller state, as recorded in the control log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlEvent {
+    /// `newjob`: a job was accepted and bound to a filter.
+    JobCreated {
+        /// Job name.
+        job: String,
+        /// The filter collecting its trace.
+        filter: String,
+    },
+    /// `filter`: a filter process was created. Carries everything a
+    /// successor controller needs to rebuild its `FilterInfo` —
+    /// including the descriptions text, so store frames render without
+    /// re-fetching any file.
+    FilterCreated {
+        /// Controller-local filter name.
+        name: String,
+        /// Machine it runs on.
+        machine: String,
+        /// Its pid on that machine.
+        pid: u32,
+        /// The port metered processes connect to.
+        port: u16,
+        /// Log path (empty for edges).
+        logfile: String,
+        /// Sink mode as its argument keyword (`text` / `store`).
+        mode: String,
+        /// Shard count.
+        shards: u32,
+        /// Role keyword (`leaf` / `edge` / `aggregate`).
+        role: String,
+        /// `host:port` of its upstream, empty when none.
+        upstream: String,
+        /// The descriptions file text it filters with.
+        desc_text: String,
+    },
+    /// `addprocess`/`acquire`: a process joined a job.
+    ProcAdded {
+        /// The job it joined.
+        job: String,
+        /// Display name.
+        name: String,
+        /// Machine it runs on.
+        machine: String,
+        /// Its pid.
+        pid: u32,
+        /// Initial state keyword (`new` / `acquired`).
+        state: String,
+    },
+    /// `setflags`: the job's accumulated flag set changed.
+    FlagsSet {
+        /// The job.
+        job: String,
+        /// The new full flag bits.
+        flags: u32,
+    },
+    /// A process changed state (start/stop/termination/resync).
+    ProcStateChanged {
+        /// The job.
+        job: String,
+        /// Machine of the process.
+        machine: String,
+        /// Its pid.
+        pid: u32,
+        /// New state keyword (`running` / `stopped` / `killed`).
+        state: String,
+    },
+    /// `removejob`: the job reached its terminal state.
+    JobRemoved {
+        /// The job.
+        job: String,
+    },
+    /// A controller claimed ownership of a job.
+    LeaseAcquired {
+        /// The job.
+        job: String,
+        /// Owner id (`machine:control_port`).
+        owner: String,
+        /// Simulated time of the claim, microseconds.
+        at_us: u64,
+        /// Simulated time the lease lapses, microseconds.
+        expires_us: u64,
+    },
+    /// The current owner extended its lease.
+    LeaseRenewed {
+        /// The job.
+        job: String,
+        /// Owner id (must match the current lease's).
+        owner: String,
+        /// Simulated time of the renewal, microseconds.
+        at_us: u64,
+        /// New expiry, microseconds.
+        expires_us: u64,
+    },
+}
+
+impl fmt::Display for ControlEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlEvent::JobCreated { job, filter } => {
+                write!(f, "job-created {job} filter={filter}")
+            }
+            ControlEvent::FilterCreated {
+                name,
+                machine,
+                pid,
+                port,
+                ..
+            } => write!(
+                f,
+                "filter-created {name} machine={machine} pid={pid} port={port}"
+            ),
+            ControlEvent::ProcAdded {
+                job,
+                name,
+                machine,
+                pid,
+                state,
+            } => write!(
+                f,
+                "proc-added {job}/{name} machine={machine} pid={pid} state={state}"
+            ),
+            ControlEvent::FlagsSet { job, flags } => {
+                write!(f, "flags-set {job} flags={flags:#x}")
+            }
+            ControlEvent::ProcStateChanged {
+                job,
+                machine,
+                pid,
+                state,
+            } => write!(
+                f,
+                "proc-state {job} machine={machine} pid={pid} state={state}"
+            ),
+            ControlEvent::JobRemoved { job } => write!(f, "job-removed {job}"),
+            ControlEvent::LeaseAcquired {
+                job,
+                owner,
+                at_us,
+                expires_us,
+            } => write!(
+                f,
+                "lease-acquired {job} owner={owner} at={at_us} expires={expires_us}"
+            ),
+            ControlEvent::LeaseRenewed {
+                job,
+                owner,
+                at_us,
+                expires_us,
+            } => write!(
+                f,
+                "lease-renewed {job} owner={owner} at={at_us} expires={expires_us}"
+            ),
+        }
+    }
+}
+
+/// Event type codes on the wire.
+mod code {
+    pub const JOB_CREATED: u8 = 1;
+    pub const FILTER_CREATED: u8 = 2;
+    pub const PROC_ADDED: u8 = 3;
+    pub const FLAGS_SET: u8 = 4;
+    pub const PROC_STATE_CHANGED: u8 = 5;
+    pub const JOB_REMOVED: u8 = 6;
+    pub const LEASE_ACQUIRED: u8 = 7;
+    pub const LEASE_RENEWED: u8 = 8;
+}
+
+struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    fn new(code: u8) -> W {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(&CONTROL_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&CONTROL_EVENT_VERSION.to_le_bytes());
+        buf.push(code);
+        W { buf }
+    }
+
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl R<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| "truncated control event".to_owned())?;
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        if n > MAX_STR {
+            return Err(format!("absurd string length {n}"));
+        }
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| "control event string is not UTF-8".to_owned())
+    }
+}
+
+impl ControlEvent {
+    /// Encodes to the control log's record form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = match self {
+            ControlEvent::JobCreated { .. } => W::new(code::JOB_CREATED),
+            ControlEvent::FilterCreated { .. } => W::new(code::FILTER_CREATED),
+            ControlEvent::ProcAdded { .. } => W::new(code::PROC_ADDED),
+            ControlEvent::FlagsSet { .. } => W::new(code::FLAGS_SET),
+            ControlEvent::ProcStateChanged { .. } => W::new(code::PROC_STATE_CHANGED),
+            ControlEvent::JobRemoved { .. } => W::new(code::JOB_REMOVED),
+            ControlEvent::LeaseAcquired { .. } => W::new(code::LEASE_ACQUIRED),
+            ControlEvent::LeaseRenewed { .. } => W::new(code::LEASE_RENEWED),
+        };
+        match self {
+            ControlEvent::JobCreated { job, filter } => {
+                w.str(job);
+                w.str(filter);
+            }
+            ControlEvent::FilterCreated {
+                name,
+                machine,
+                pid,
+                port,
+                logfile,
+                mode,
+                shards,
+                role,
+                upstream,
+                desc_text,
+            } => {
+                w.str(name);
+                w.str(machine);
+                w.u32(*pid);
+                w.u16(*port);
+                w.str(logfile);
+                w.str(mode);
+                w.u32(*shards);
+                w.str(role);
+                w.str(upstream);
+                w.str(desc_text);
+            }
+            ControlEvent::ProcAdded {
+                job,
+                name,
+                machine,
+                pid,
+                state,
+            } => {
+                w.str(job);
+                w.str(name);
+                w.str(machine);
+                w.u32(*pid);
+                w.str(state);
+            }
+            ControlEvent::FlagsSet { job, flags } => {
+                w.str(job);
+                w.u32(*flags);
+            }
+            ControlEvent::ProcStateChanged {
+                job,
+                machine,
+                pid,
+                state,
+            } => {
+                w.str(job);
+                w.str(machine);
+                w.u32(*pid);
+                w.str(state);
+            }
+            ControlEvent::JobRemoved { job } => {
+                w.str(job);
+            }
+            ControlEvent::LeaseAcquired {
+                job,
+                owner,
+                at_us,
+                expires_us,
+            }
+            | ControlEvent::LeaseRenewed {
+                job,
+                owner,
+                at_us,
+                expires_us,
+            } => {
+                w.str(job);
+                w.str(owner);
+                w.u64(*at_us);
+                w.u64(*expires_us);
+            }
+        }
+        w.buf
+    }
+
+    /// Decodes one control-event record.
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformation: wrong magic (not a control
+    /// event at all), an unknown version or type code, or truncation.
+    pub fn decode(buf: &[u8]) -> Result<ControlEvent, String> {
+        let mut r = R { buf, pos: 0 };
+        let magic = r.u32()?;
+        if magic != CONTROL_MAGIC {
+            return Err(format!("not a control event (magic {magic:#x})"));
+        }
+        let version = r.u32()?;
+        if version != CONTROL_EVENT_VERSION {
+            return Err(format!("unknown control event version {version}"));
+        }
+        let code = r.u8()?;
+        Ok(match code {
+            code::JOB_CREATED => ControlEvent::JobCreated {
+                job: r.str()?,
+                filter: r.str()?,
+            },
+            code::FILTER_CREATED => ControlEvent::FilterCreated {
+                name: r.str()?,
+                machine: r.str()?,
+                pid: r.u32()?,
+                port: r.u16()?,
+                logfile: r.str()?,
+                mode: r.str()?,
+                shards: r.u32()?,
+                role: r.str()?,
+                upstream: r.str()?,
+                desc_text: r.str()?,
+            },
+            code::PROC_ADDED => ControlEvent::ProcAdded {
+                job: r.str()?,
+                name: r.str()?,
+                machine: r.str()?,
+                pid: r.u32()?,
+                state: r.str()?,
+            },
+            code::FLAGS_SET => ControlEvent::FlagsSet {
+                job: r.str()?,
+                flags: r.u32()?,
+            },
+            code::PROC_STATE_CHANGED => ControlEvent::ProcStateChanged {
+                job: r.str()?,
+                machine: r.str()?,
+                pid: r.u32()?,
+                state: r.str()?,
+            },
+            code::JOB_REMOVED => ControlEvent::JobRemoved { job: r.str()? },
+            code::LEASE_ACQUIRED => ControlEvent::LeaseAcquired {
+                job: r.str()?,
+                owner: r.str()?,
+                at_us: r.u64()?,
+                expires_us: r.u64()?,
+            },
+            code::LEASE_RENEWED => ControlEvent::LeaseRenewed {
+                job: r.str()?,
+                owner: r.str()?,
+                at_us: r.u64()?,
+                expires_us: r.u64()?,
+            },
+            other => return Err(format!("unknown control event type {other}")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<ControlEvent> {
+        vec![
+            ControlEvent::JobCreated {
+                job: "foo".into(),
+                filter: "f1".into(),
+            },
+            ControlEvent::FilterCreated {
+                name: "f1".into(),
+                machine: "green".into(),
+                pid: 2120,
+                port: 4000,
+                logfile: "/usr/tmp/log.f1".into(),
+                mode: "store".into(),
+                shards: 2,
+                role: "leaf".into(),
+                upstream: String::new(),
+                desc_text: "send 1 ...\n".into(),
+            },
+            ControlEvent::ProcAdded {
+                job: "foo".into(),
+                name: "A".into(),
+                machine: "red".into(),
+                pid: 2121,
+                state: "new".into(),
+            },
+            ControlEvent::FlagsSet {
+                job: "foo".into(),
+                flags: 0b1011,
+            },
+            ControlEvent::ProcStateChanged {
+                job: "foo".into(),
+                machine: "red".into(),
+                pid: 2121,
+                state: "killed".into(),
+            },
+            ControlEvent::JobRemoved { job: "foo".into() },
+            ControlEvent::LeaseAcquired {
+                job: "foo".into(),
+                owner: "yellow:5000".into(),
+                at_us: 17,
+                expires_us: 2_000_017,
+            },
+            ControlEvent::LeaseRenewed {
+                job: "foo".into(),
+                owner: "yellow:5000".into(),
+                at_us: 1_000_017,
+                expires_us: 3_000_017,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_round_trips() {
+        for ev in samples() {
+            let wire = ev.encode();
+            assert_eq!(ControlEvent::decode(&wire).unwrap(), ev, "{ev}");
+            // The tag layout is stable: magic then version.
+            assert_eq!(&wire[0..4], &CONTROL_MAGIC.to_le_bytes());
+            assert_eq!(&wire[4..8], &CONTROL_EVENT_VERSION.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        // A meter record (or anything else) is named as a non-event,
+        // not misparsed.
+        let err = ControlEvent::decode(&[9u8; 32]).unwrap_err();
+        assert!(err.contains("not a control event"), "{err}");
+        // Unknown version.
+        let mut wire = samples()[0].encode();
+        wire[4..8].copy_from_slice(&9u32.to_le_bytes());
+        let err = ControlEvent::decode(&wire).unwrap_err();
+        assert!(err.contains("version 9"), "{err}");
+        // Unknown type code.
+        let mut wire = samples()[0].encode();
+        wire[8] = 99;
+        let err = ControlEvent::decode(&wire).unwrap_err();
+        assert!(err.contains("type 99"), "{err}");
+        // Truncation.
+        let wire = samples()[1].encode();
+        assert!(ControlEvent::decode(&wire[..wire.len() - 3]).is_err());
+        // Absurd string length.
+        let mut wire = samples()[5].encode();
+        wire[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = ControlEvent::decode(&wire).unwrap_err();
+        assert!(err.contains("absurd"), "{err}");
+    }
+
+    #[test]
+    fn display_is_one_line_per_event() {
+        for ev in samples() {
+            let line = ev.to_string();
+            assert!(!line.contains('\n'), "{line}");
+            assert!(!line.is_empty());
+        }
+    }
+}

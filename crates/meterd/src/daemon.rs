@@ -14,7 +14,7 @@
 
 use crate::proto::{frame_len, Reply, Request, RpcStatus};
 use dpm_filter::FilterRole;
-use dpm_meter::{MeterFlags, TermReason};
+use dpm_meter::{MeterFlags, SockName, TermReason};
 use dpm_simos::{
     connect_backoff, Backoff, BindTo, Cluster, Domain, Fd, FlagSel, Pid, PidSel, Proc, RunState,
     Sig, SockSel, SockType, SysError, SysResult, Uid,
@@ -245,33 +245,109 @@ pub fn notify(p: &Proc, host: &str, port: u16, req: &Request) -> SysResult<()> {
     result
 }
 
-/// How many served request ids the daemon remembers for replaying
-/// replies to retried [`Request::Tagged`] calls.
-const REPLY_CACHE_CAP: usize = 256;
+/// How many distinct clients the daemon keeps reply history for.
+const REPLY_CACHE_CLIENTS: usize = 32;
 
-/// A bounded FIFO cache of encoded replies keyed by request id. A
-/// retried `CreateFilter` or `Start` whose first reply was lost gets
-/// the original reply replayed instead of a second execution.
+/// How many served request ids the daemon remembers *per client* for
+/// replaying replies to retried [`Request::Tagged`] calls.
+const REPLY_CACHE_PER_CLIENT: usize = 64;
+
+/// One client's recently served replies, in least-recently-used order
+/// (front = coldest). Request ids are process-global on the caller
+/// side, but grouping by client keeps one chatty controller — a
+/// takeover doing thousands of `AcquireMany` calls, say — from
+/// flushing the dedup window every *other* controller's retries
+/// depend on.
 #[derive(Debug, Default)]
-struct ReplyCache {
+struct ClientReplies {
     map: HashMap<u64, Vec<u8>>,
     order: VecDeque<u64>,
 }
 
-impl ReplyCache {
-    fn get(&self, req_id: u64) -> Option<Vec<u8>> {
-        self.map.get(&req_id).cloned()
+impl ClientReplies {
+    fn touch(&mut self, req_id: u64) {
+        if let Some(i) = self.order.iter().position(|&id| id == req_id) {
+            self.order.remove(i);
+            self.order.push_back(req_id);
+        }
+    }
+
+    fn get(&mut self, req_id: u64) -> Option<Vec<u8>> {
+        let hit = self.map.get(&req_id).cloned();
+        if hit.is_some() {
+            self.touch(req_id);
+        }
+        hit
     }
 
     fn insert(&mut self, req_id: u64, reply: Vec<u8>) {
         if self.map.insert(req_id, reply).is_none() {
             self.order.push_back(req_id);
-            if self.order.len() > REPLY_CACHE_CAP {
+            if self.order.len() > REPLY_CACHE_PER_CLIENT {
                 if let Some(old) = self.order.pop_front() {
                     self.map.remove(&old);
                 }
             }
+        } else {
+            self.touch(req_id);
         }
+    }
+}
+
+/// The daemon's reply cache: per-client LRU maps of encoded replies
+/// keyed by request id, with the client population itself LRU-bounded.
+/// A retried `CreateFilter` or `Start` whose first reply was lost gets
+/// the original reply replayed instead of a second execution.
+#[derive(Debug, Default)]
+struct ReplyCache {
+    clients: HashMap<String, ClientReplies>,
+    order: VecDeque<String>,
+}
+
+impl ReplyCache {
+    fn touch(&mut self, client: &str) {
+        if let Some(i) = self.order.iter().position(|c| c == client) {
+            self.order.remove(i);
+            self.order.push_back(client.to_owned());
+        }
+    }
+
+    fn get(&mut self, client: &str, req_id: u64) -> Option<Vec<u8>> {
+        let hit = self.clients.get_mut(client)?.get(req_id);
+        if hit.is_some() {
+            self.touch(client);
+        }
+        hit
+    }
+
+    fn insert(&mut self, client: &str, req_id: u64, reply: Vec<u8>) {
+        if !self.clients.contains_key(client) {
+            self.clients
+                .insert(client.to_owned(), ClientReplies::default());
+            self.order.push_back(client.to_owned());
+            if self.order.len() > REPLY_CACHE_CLIENTS {
+                if let Some(old) = self.order.pop_front() {
+                    self.clients.remove(&old);
+                }
+            }
+        } else {
+            self.touch(client);
+        }
+        self.clients
+            .get_mut(client)
+            .expect("client just ensured")
+            .insert(req_id, reply);
+    }
+}
+
+/// The cache key for a connection's peer. The *host* identifies a
+/// client — the connecting port is ephemeral and changes on every
+/// retry, so it must not partition one caller's history.
+fn client_key(who: &SockName) -> String {
+    match who {
+        SockName::Inet { host, .. } => format!("inet:{host}"),
+        SockName::UnixPath(path) => format!("unix:{path}"),
+        SockName::Internal(id) => format!("internal:{id}"),
     }
 }
 
@@ -398,8 +474,8 @@ pub fn meterd_main(p: Proc, _args: Vec<String>) -> SysResult<()> {
     }
 
     loop {
-        let (conn, _who) = p.accept(listener)?;
-        let outcome = serve_one(&p, conn, &procs, &replies, &edges);
+        let (conn, who) = p.accept(listener)?;
+        let outcome = serve_one(&p, conn, &who, &procs, &replies, &edges);
         let _ = p.close(conn);
         // Individual request failures must not kill the daemon, but a
         // kill signal must.
@@ -416,6 +492,7 @@ pub fn meterd_main(p: Proc, _args: Vec<String>) -> SysResult<()> {
 fn serve_one(
     p: &Proc,
     conn: Fd,
+    who: &SockName,
     procs: &Arc<Mutex<HashMap<Pid, ProcInfo>>>,
     replies: &Arc<Mutex<ReplyCache>>,
     edges: &EdgeRegistry,
@@ -443,8 +520,9 @@ fn serve_one(
         Request::Tagged { req_id, inner } => (Some(req_id), *inner),
         other => (None, other),
     };
+    let client = client_key(who);
     if let Some(id) = req_id {
-        if let Some(cached) = replies.lock().get(id) {
+        if let Some(cached) = replies.lock().get(&client, id) {
             dpm_telemetry::registry()
                 .counter("meterd", "replay_hits", p.machine().name())
                 .inc();
@@ -456,7 +534,7 @@ fn serve_one(
     if let Some(reply) = reply {
         let bytes = reply.encode();
         if let Some(id) = req_id {
-            replies.lock().insert(id, bytes.clone());
+            replies.lock().insert(&client, id, bytes.clone());
         }
         p.write(conn, &bytes)?;
     }
@@ -563,6 +641,79 @@ fn handle(
                     status: sys_status(&e),
                 },
             }))
+        }
+        Request::AcquireMany {
+            pids,
+            filter_port,
+            filter_host,
+            meter_flags,
+            control_port,
+            control_host,
+            rebind_only,
+        } => {
+            dpm_telemetry::registry()
+                .counter("meterd", "acquire_many_pids", p.machine().name())
+                .add(pids.len() as u64);
+            if rebind_only {
+                // Takeover path: the processes are already metered and
+                // their filter connections must not be disturbed; only
+                // the controller that owns them has changed. Re-point
+                // the daemon's notion of each process's controller so
+                // state-change notifications reach the new owner.
+                let mut results = Vec::with_capacity(pids.len());
+                let mut table = procs.lock();
+                for pid in pids {
+                    let alive = p
+                        .machine()
+                        .proc_state(pid)
+                        .map(|s| !s.is_dead())
+                        .unwrap_or(false);
+                    if alive {
+                        let info = table.entry(pid).or_insert_with(|| ProcInfo {
+                            control_host: String::new(),
+                            control_port: 0,
+                            stdin_fd: None,
+                        });
+                        info.control_host = control_host.clone();
+                        info.control_port = control_port;
+                        results.push((pid, RpcStatus::Ok));
+                    } else {
+                        results.push((pid, RpcStatus::Srch));
+                    }
+                }
+                Ok(Some(Reply::AcquireMany {
+                    status: RpcStatus::Ok,
+                    results,
+                }))
+            } else {
+                // Acquire-at-scale path: one connection to the filter
+                // is shared by the whole batch — `setmeter` bumps the
+                // socket's reference per process, so the descriptor
+                // can be closed here as usual. Thousands of processes
+                // cost one connect instead of thousands.
+                let (host, port) = filter_target(p, edges, &filter_host, filter_port);
+                let s = match connect_filter(p, &host, port) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        return Ok(Some(Reply::AcquireMany {
+                            status: sys_status(&e),
+                            results: Vec::new(),
+                        }));
+                    }
+                };
+                let mut results = Vec::with_capacity(pids.len());
+                for pid in pids {
+                    match p.setmeter(PidSel::Pid(pid), FlagSel::Set(meter_flags), SockSel::Fd(s)) {
+                        Ok(()) => results.push((pid, RpcStatus::Ok)),
+                        Err(e) => results.push((pid, sys_status(&e))),
+                    }
+                }
+                let _ = p.close(s);
+                Ok(Some(Reply::AcquireMany {
+                    status: RpcStatus::Ok,
+                    results,
+                }))
+            }
         }
         Request::GetFile { path } => Ok(Some(match p.machine().fs().read(&path) {
             Some(data) => Reply::File {
@@ -780,4 +931,100 @@ fn create_process(
         pid,
         status: RpcStatus::Ok,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reply(n: u8) -> Vec<u8> {
+        vec![n; 4]
+    }
+
+    #[test]
+    fn dedup_holds_within_the_window() {
+        let mut cache = ReplyCache::default();
+        for id in 0..REPLY_CACHE_PER_CLIENT as u64 {
+            cache.insert("inet:1", id, reply(id as u8));
+        }
+        // Every id in the window replays its original reply — a retry
+        // is never re-executed.
+        for id in 0..REPLY_CACHE_PER_CLIENT as u64 {
+            assert_eq!(cache.get("inet:1", id), Some(reply(id as u8)), "id {id}");
+        }
+        // Re-inserting an id keeps the first reply's bytes canonical
+        // for LRU purposes and does not grow the window.
+        cache.insert("inet:1", 0, reply(99));
+        assert_eq!(cache.clients["inet:1"].order.len(), REPLY_CACHE_PER_CLIENT);
+    }
+
+    #[test]
+    fn per_client_lru_evicts_coldest_id_first() {
+        let mut cache = ReplyCache::default();
+        for id in 0..REPLY_CACHE_PER_CLIENT as u64 {
+            cache.insert("inet:1", id, reply(id as u8));
+        }
+        // Touch id 0 so id 1 becomes the coldest.
+        assert!(cache.get("inet:1", 0).is_some());
+        cache.insert("inet:1", REPLY_CACHE_PER_CLIENT as u64, reply(7));
+        assert!(
+            cache.get("inet:1", 0).is_some(),
+            "recently used id survives"
+        );
+        assert_eq!(cache.get("inet:1", 1), None, "coldest id evicted");
+        assert_eq!(
+            cache.clients["inet:1"].map.len(),
+            REPLY_CACHE_PER_CLIENT,
+            "window stays capped"
+        );
+    }
+
+    #[test]
+    fn one_chatty_client_cannot_flush_anothers_window() {
+        let mut cache = ReplyCache::default();
+        cache.insert("inet:1", 42, reply(1));
+        // Another controller (a takeover doing a large acquire, say)
+        // burns far more ids than one window holds.
+        for id in 0..10 * REPLY_CACHE_PER_CLIENT as u64 {
+            cache.insert("inet:2", id, reply(2));
+        }
+        assert_eq!(
+            cache.get("inet:1", 42),
+            Some(reply(1)),
+            "first client's dedup window is intact"
+        );
+        assert_eq!(cache.clients["inet:2"].map.len(), REPLY_CACHE_PER_CLIENT);
+    }
+
+    #[test]
+    fn client_population_is_lru_bounded() {
+        let mut cache = ReplyCache::default();
+        for c in 0..REPLY_CACHE_CLIENTS as u32 {
+            cache.insert(&format!("inet:{c}"), 1, reply(c as u8));
+        }
+        // Keep client 0 warm, then overflow the population.
+        assert!(cache.get("inet:0", 1).is_some());
+        cache.insert("inet:999", 1, reply(9));
+        assert_eq!(cache.clients.len(), REPLY_CACHE_CLIENTS);
+        assert!(cache.get("inet:0", 1).is_some(), "warm client survives");
+        assert_eq!(cache.get("inet:1", 1), None, "coldest client evicted");
+    }
+
+    #[test]
+    fn client_key_ignores_ephemeral_port() {
+        let a = client_key(&SockName::Inet {
+            host: 3,
+            port: 1024,
+        });
+        let b = client_key(&SockName::Inet {
+            host: 3,
+            port: 2771,
+        });
+        assert_eq!(a, b, "same host, different connections: one client");
+        let c = client_key(&SockName::Inet {
+            host: 4,
+            port: 1024,
+        });
+        assert_ne!(a, c);
+    }
 }

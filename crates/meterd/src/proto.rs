@@ -77,6 +77,11 @@ pub mod msg_type {
     pub const LIST_FILES: u32 = 30;
     /// Reply to `LIST_FILES`.
     pub const FILE_LIST: u32 = 31;
+    /// Acquire a batch of already-running processes in one
+    /// round-trip (controller takeover / acquire-at-scale).
+    pub const ACQUIRE_MANY: u32 = 32;
+    /// Reply to `ACQUIRE_MANY`: per-pid outcomes.
+    pub const ACQUIRE_MANY_REPLY: u32 = 33;
 }
 
 /// Status code carried in replies. On the wire this is a bare `u32`
@@ -552,6 +557,31 @@ pub enum Request {
         /// Controller host.
         control_host: String,
     },
+    /// `32`: meter (or re-bind) a batch of already-running processes
+    /// in one round-trip. With `rebind_only` false this is `Acquire`
+    /// over each pid, but the daemon opens a *single* connection to
+    /// the filter and shares it across the whole batch — the
+    /// acquire-at-scale path. With `rebind_only` true the processes
+    /// are already metered and only the daemon's notion of the owning
+    /// controller changes — the takeover path, which must not disturb
+    /// the live meter stream.
+    AcquireMany {
+        /// The processes.
+        pids: Vec<Pid>,
+        /// Filter's meter port (ignored when `rebind_only`).
+        filter_port: u16,
+        /// Filter's host (ignored when `rebind_only`).
+        filter_host: String,
+        /// Meter flags to set (ignored when `rebind_only`).
+        meter_flags: MeterFlags,
+        /// Controller notification port.
+        control_port: u16,
+        /// Controller host.
+        control_host: String,
+        /// True to only re-point state-change notifications at the
+        /// new controller, leaving meter connections untouched.
+        rebind_only: bool,
+    },
     /// `19`: fetch a file from the daemon's machine.
     GetFile {
         /// Path on the daemon's machine.
@@ -653,6 +683,15 @@ pub enum Reply {
         /// Matching names, sorted (empty on failure).
         names: Vec<String>,
     },
+    /// `33`: per-pid outcomes, answering `AcquireMany`.
+    AcquireMany {
+        /// Overall outcome: `Ok` when the daemon processed the batch
+        /// (individual pids may still have failed), a failure code
+        /// when it could not (e.g. the filter was unreachable).
+        status: RpcStatus,
+        /// One `(pid, outcome)` per requested pid, in request order.
+        results: Vec<(Pid, RpcStatus)>,
+    },
 }
 
 impl Reply {
@@ -663,7 +702,8 @@ impl Reply {
             | Reply::Ack { status }
             | Reply::File { status, .. }
             | Reply::ProcStatus { status, .. }
-            | Reply::FileList { status, .. } => *status,
+            | Reply::FileList { status, .. }
+            | Reply::AcquireMany { status, .. } => *status,
         }
     }
 }
@@ -771,6 +811,7 @@ impl Request {
             Request::Stop { .. } => msg_type::STOP,
             Request::Kill { .. } => msg_type::KILL,
             Request::Acquire { .. } => msg_type::ACQUIRE,
+            Request::AcquireMany { .. } => msg_type::ACQUIRE_MANY,
             Request::GetFile { .. } => msg_type::GET_FILE,
             Request::ClearMeter { .. } => msg_type::CLEAR_METER,
             Request::WriteFile { .. } => msg_type::WRITE_FILE,
@@ -835,6 +876,26 @@ impl Request {
                 w.u32(meter_flags.bits());
                 w.u32(*control_port as u32);
                 w.str(control_host);
+            }
+            Request::AcquireMany {
+                pids,
+                filter_port,
+                filter_host,
+                meter_flags,
+                control_port,
+                control_host,
+                rebind_only,
+            } => {
+                w.u32(pids.len() as u32);
+                for pid in pids {
+                    w.u32(pid.0);
+                }
+                w.u32(*filter_port as u32);
+                w.str(filter_host);
+                w.u32(meter_flags.bits());
+                w.u32(*control_port as u32);
+                w.str(control_host);
+                w.u32(*rebind_only as u32);
             }
             Request::GetFile { path } => {
                 w.str(path);
@@ -929,6 +990,25 @@ impl Request {
                 control_port: r.u32()? as u16,
                 control_host: r.str()?,
             },
+            msg_type::ACQUIRE_MANY => {
+                let n = r.u32()? as usize;
+                if n > 65536 {
+                    return Err(ProtoError::new("absurd pid count"));
+                }
+                let mut pids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    pids.push(Pid(r.u32()?));
+                }
+                Request::AcquireMany {
+                    pids,
+                    filter_port: r.u32()? as u16,
+                    filter_host: r.str()?,
+                    meter_flags: MeterFlags::from_bits(r.u32()?),
+                    control_port: r.u32()? as u16,
+                    control_host: r.str()?,
+                    rebind_only: r.u32()? != 0,
+                }
+            }
             msg_type::GET_FILE => Request::GetFile { path: r.str()? },
             msg_type::CLEAR_METER => Request::ClearMeter { pid: Pid(r.u32()?) },
             msg_type::WRITE_FILE => Request::WriteFile {
@@ -974,6 +1054,7 @@ impl Reply {
             Reply::File { .. } => msg_type::FILE_REPLY,
             Reply::ProcStatus { .. } => msg_type::PROC_STATUS,
             Reply::FileList { .. } => msg_type::FILE_LIST,
+            Reply::AcquireMany { .. } => msg_type::ACQUIRE_MANY_REPLY,
         }
     }
 
@@ -1001,6 +1082,14 @@ impl Reply {
                 w.u32(names.len() as u32);
                 for n in names {
                     w.str(n);
+                }
+            }
+            Reply::AcquireMany { status, results } => {
+                w.u32(status.code());
+                w.u32(results.len() as u32);
+                for (pid, st) in results {
+                    w.u32(pid.0);
+                    w.u32(st.code());
                 }
             }
         }
@@ -1043,6 +1132,18 @@ impl Reply {
                     names.push(r.str()?);
                 }
                 Reply::FileList { status, names }
+            }
+            msg_type::ACQUIRE_MANY_REPLY => {
+                let status = RpcStatus::from(r.u32()?);
+                let n = r.u32()? as usize;
+                if n > 65536 {
+                    return Err(ProtoError::new("absurd pid count"));
+                }
+                let mut results = Vec::with_capacity(n);
+                for _ in 0..n {
+                    results.push((Pid(r.u32()?), RpcStatus::from(r.u32()?)));
+                }
+                Reply::AcquireMany { status, results }
             }
             other => return Err(ProtoError::new(format!("unknown reply type {other}"))),
         })
@@ -1144,6 +1245,24 @@ mod tests {
                 control_port: 2,
                 control_host: "c".into(),
             },
+            Request::AcquireMany {
+                pids: vec![Pid(9), Pid(10), Pid(11)],
+                filter_port: 1,
+                filter_host: "h".into(),
+                meter_flags: f,
+                control_port: 2,
+                control_host: "c".into(),
+                rebind_only: false,
+            },
+            Request::AcquireMany {
+                pids: vec![],
+                filter_port: 0,
+                filter_host: String::new(),
+                meter_flags: MeterFlags::from_bits(0),
+                control_port: 2,
+                control_host: "c".into(),
+                rebind_only: true,
+            },
             Request::GetFile {
                 path: "/usr/tmp/f1".into(),
             },
@@ -1212,9 +1331,52 @@ mod tests {
                 status: RpcStatus::NoEnt,
                 names: vec![],
             },
+            Reply::AcquireMany {
+                status: RpcStatus::Ok,
+                results: vec![
+                    (Pid(9), RpcStatus::Ok),
+                    (Pid(10), RpcStatus::Srch),
+                    (Pid(11), RpcStatus::Ok),
+                ],
+            },
+            Reply::AcquireMany {
+                status: RpcStatus::Unavailable,
+                results: vec![],
+            },
         ] {
             assert_eq!(Reply::decode(&rep.encode()).unwrap(), rep);
         }
+    }
+
+    #[test]
+    fn acquire_many_rejects_garbage() {
+        // An absurd pid count (a corrupted or hostile length prefix)
+        // is named, not allocated.
+        let req = Request::AcquireMany {
+            pids: vec![Pid(1)],
+            filter_port: 4000,
+            filter_host: "green".into(),
+            meter_flags: MeterFlags::ALL,
+            control_port: 5000,
+            control_host: "yellow".into(),
+            rebind_only: false,
+        };
+        let mut wire = req.encode();
+        wire[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Request::decode(&wire).unwrap_err();
+        assert!(err.to_string().contains("absurd pid count"), "{err}");
+        // Truncated mid-batch.
+        let wire = req.encode();
+        assert!(Request::decode(&wire[..wire.len() - 2]).is_err());
+        // The reply-side count is capped the same way.
+        let rep = Reply::AcquireMany {
+            status: RpcStatus::Ok,
+            results: vec![(Pid(1), RpcStatus::Ok)],
+        };
+        let mut wire = rep.encode();
+        wire[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = Reply::decode(&wire).unwrap_err();
+        assert!(err.to_string().contains("absurd pid count"), "{err}");
     }
 
     #[test]

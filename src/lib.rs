@@ -34,6 +34,7 @@ pub mod crates {
     pub use dpm_analysis as analysis;
     pub use dpm_chaos as chaos;
     pub use dpm_controller as controller;
+    pub use dpm_controlplane as controlplane;
     pub use dpm_filter as filter;
     pub use dpm_live as live;
     pub use dpm_logstore as logstore;
